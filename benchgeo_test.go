@@ -1,0 +1,5 @@
+package booters
+
+import "booters/internal/geo"
+
+func newBenchGeoTable() *geo.Table { return geo.NewTable() }

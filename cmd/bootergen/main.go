@@ -1,0 +1,89 @@
+// Command bootergen generates the reproduction's synthetic datasets and
+// writes them as CSV: the weekly global/per-country/per-protocol panel and
+// the booter self-report panel.
+//
+// Usage:
+//
+//	bootergen [-seed N] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"booters/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bootergen: ")
+	seed := flag.Int64("seed", 20191021, "generator seed")
+	out := flag.String("out", ".", "output directory")
+	flag.Parse()
+
+	p, err := dataset.Generate(dataset.DefaultConfig(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := writePanel(p, filepath.Join(*out, "weekly_panel.csv")); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeSelfReport(p, filepath.Join(*out, "self_report.csv")); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeChurn(p, filepath.Join(*out, "market_churn.csv")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d weeks), %s (%d booters), %s\n",
+		filepath.Join(*out, "weekly_panel.csv"), p.Weeks,
+		filepath.Join(*out, "self_report.csv"), len(p.SelfReport.Sites),
+		filepath.Join(*out, "market_churn.csv"))
+}
+
+func writePanel(p *dataset.Panel, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WritePanelCSV(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeSelfReport(p *dataset.Panel, path string) error {
+	var b strings.Builder
+	b.WriteString("week,booter,up,total\n")
+	sr := p.SelfReport
+	for _, h := range sr.Sites {
+		for _, o := range h.Obs {
+			up := 0
+			if o.Up {
+				up = 1
+			}
+			fmt.Fprintf(&b, "%s,%s,%d,%.0f\n",
+				sr.Start.Start.AddDate(0, 0, 7*o.Week).Format("2006-01-02"), h.Name, up, o.Total)
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func writeChurn(p *dataset.Panel, path string) error {
+	var b strings.Builder
+	b.WriteString("week,births,deaths,resurrections\n")
+	sr := p.SelfReport
+	for _, c := range sr.Churn {
+		fmt.Fprintf(&b, "%s,%d,%d,%d\n",
+			sr.Start.Start.AddDate(0, 0, 7*c.Week).Format("2006-01-02"), c.Births, c.Deaths, c.Resurrections)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

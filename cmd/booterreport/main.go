@@ -1,0 +1,60 @@
+// Command booterreport runs every experiment (all tables and figures) and
+// writes the EXPERIMENTS.md paper-vs-measured report.
+//
+// Usage:
+//
+//	booterreport [-seed N] [-o FILE] [-print]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"booters/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("booterreport: ")
+	seed := flag.Int64("seed", 20191021, "generator seed")
+	out := flag.String("o", "EXPERIMENTS.md", "output file (empty for stdout only)")
+	print := flag.Bool("print", false, "also print rendered exhibits to stdout")
+	flag.Parse()
+
+	env, err := core.NewEnv(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := core.RunAll(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pass, total := 0, 0
+	for _, r := range results {
+		for _, c := range r.Checks {
+			total++
+			if c.Pass {
+				pass++
+			}
+		}
+		if *print {
+			fmt.Println(r.Rendered)
+		}
+	}
+	md := core.Markdown(*seed, results)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		fmt.Print(md)
+	}
+	fmt.Printf("checks passing: %d/%d\n", pass, total)
+	if pass < total {
+		os.Exit(1)
+	}
+}

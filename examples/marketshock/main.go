@@ -1,0 +1,101 @@
+// Market shock: simulates the booter market through the Webstresser and
+// Xmas2018 interventions and reports the structural effects the paper
+// observes — death spikes, displacement to surviving providers, the market
+// concentrating on one booter, and the March resurrection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"booters/internal/market"
+	"booters/internal/scrape"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const weeks = 73 // Nov 2017 - Mar 2019
+	const webstresserWeek = 24
+	const xmasWeek = 58
+
+	cfg := market.DefaultConfig(weeks, 1)
+	cfg.Shocks = []market.Shock{
+		{
+			Week:                 webstresserWeek,
+			KillLargest:          1,
+			KillSubcontractorsOf: true,
+			Permanent:            true,
+		},
+		{
+			Week:             xmasWeek,
+			KillLargest:      2,
+			KillFraction:     0.2,
+			Permanent:        true,
+			EntrySuppression: 0.3,
+			EntryWeeks:       6,
+			ResurrectAfter:   11,
+		},
+	}
+	sim, err := market.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Demand grows ~0.8% per week with a Christmas bump.
+	var records []market.WeekRecord
+	for w := 0; w < weeks; w++ {
+		demand := 70000 * math.Exp(0.008*float64(w))
+		if w%52 >= 50 || w%52 <= 1 {
+			demand *= 1.1
+		}
+		rec, err := sim.Step(demand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+
+	fmt.Println("week  demand   served  alive  births deaths resurrections  top-share")
+	for _, rec := range records {
+		if rec.Week%6 != 0 && rec.Week != webstresserWeek && rec.Week != xmasWeek {
+			continue
+		}
+		marker := "  "
+		switch rec.Week {
+		case webstresserWeek:
+			marker = "W " // Webstresser takedown
+		case xmasWeek:
+			marker = "X " // Xmas2018
+		}
+		top := sim.TopShare(rec.Week, rec.Week+1)
+		fmt.Printf("%s%3d  %7.0f  %7.0f  %5d  %6d %6d %13d  %8.0f%%\n",
+			marker, rec.Week, rec.Demand, rec.Served, rec.AliveProviders,
+			rec.Births, rec.Deaths, rec.Resurrections, 100*top)
+	}
+
+	fmt.Printf("\nmarket concentration: top provider share %.0f%% before Webstresser, %.0f%% after Xmas2018\n",
+		100*sim.TopShare(0, webstresserWeek), 100*sim.TopShare(xmasWeek, xmasWeek+10))
+
+	// Rebuild the churn series the way the scraper would observe it.
+	var sites []*scrape.SiteHistory
+	for _, prov := range sim.Providers() {
+		h := &scrape.SiteHistory{Name: prov.Name}
+		var running float64
+		for w := 0; w < weeks; w++ {
+			n := records[w].ServedByProvider[prov.ID]
+			running += n
+			h.Obs = append(h.Obs, scrape.Observation{Week: w, Up: n > 0, Total: running})
+		}
+		sites = append(sites, h)
+	}
+	churn := scrape.ChurnSeries(sites, weeks)
+	fmt.Printf("\ndeaths at Webstresser week: %d; at Xmas2018 week: %d (background ~2-4)\n",
+		churn[webstresserWeek].Deaths, churn[xmasWeek].Deaths)
+	var resurrections int
+	for w := xmasWeek + 8; w < weeks && w < xmasWeek+16; w++ {
+		resurrections += churn[w].Resurrections
+	}
+	fmt.Printf("resurrections 8-16 weeks after Xmas2018 (the March return): %d\n", resurrections)
+}

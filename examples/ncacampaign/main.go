@@ -1,0 +1,43 @@
+// NCA campaign: reproduces the paper's Figure 5 analysis — UK and US
+// weekly attack series indexed to 100 at June 2016, with linear trend
+// slopes before and during the NCA's Google-advert campaign, showing the
+// UK's growth flattening while the US keeps rising.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"booters"
+	"booters/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	panel, err := booters.GeneratePanel(booters.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nca, err := booters.AnalyzeNCA(panel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(report.SeriesChart("UK attacks (indexed, Jun 2016 = 100)", nca.UK, 9))
+	fmt.Println(report.SeriesChart("US attacks (indexed, Jun 2016 = 100)", nca.US, 9))
+
+	fmt.Println("Linear trend slopes (indexed points per week):")
+	fmt.Printf("                 %8s  %8s\n", "UK", "US")
+	fmt.Printf("  Jan-Dec 2017   %8.2f  %8.2f\n", nca.PreUKSlope, nca.PreUSSlope)
+	fmt.Printf("  NCA campaign   %8.2f  %8.2f\n", nca.CampaignUKSlope, nca.CampaignUSSlope)
+
+	did := (nca.CampaignUKSlope - nca.PreUKSlope) - (nca.CampaignUSSlope - nca.PreUSSlope)
+	fmt.Printf("\ndifference-in-differences (UK change minus US change): %.2f\n", did)
+	if did < 0 {
+		fmt.Println("=> the UK trend flattened relative to the US during the advert campaign,")
+		fmt.Println("   the paper's evidence that targeted messaging suppressed new demand.")
+	} else {
+		fmt.Println("=> no relative flattening detected on this seed.")
+	}
+}

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateCoverageShape(t *testing.T) {
+	rep := SimulateCoverage(200000, 17)
+	if rep.TotalLogged != 200000 {
+		t.Fatalf("logged = %d", rep.TotalLogged)
+	}
+	// Reflection share matches the paper's 70-91% band.
+	if sh := rep.ReflectionShare(); sh < 0.6 || sh < 0.65 || sh > 0.95 {
+		t.Errorf("reflection share = %.2f, want in [0.65, 0.95]", sh)
+	}
+	// LDAP / NTP / PORTMAP near-complete coverage (~97-98%).
+	for _, name := range []string{"LDAP", "NTP", "PORTMAP"} {
+		r, err := rep.MethodRate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < 0.94 {
+			t.Errorf("%s coverage = %.2f, want ~0.97", name, r)
+		}
+	}
+	// SUDP nearly invisible (~9%).
+	sudp, err := rep.MethodRate("SUDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sudp > 0.15 {
+		t.Errorf("SUDP coverage = %.2f, want ~0.09", sudp)
+	}
+	// Overall coverage well below the reflection methods' coverage,
+	// dragged down by SUDP and non-UDP methods (paper: 33% overall for
+	// Webstresser vs 97% for LDAP/NTP/PORTMAP).
+	ldap, _ := rep.MethodRate("LDAP")
+	if rep.OverallRate() >= ldap-0.2 {
+		t.Errorf("overall coverage %.2f should sit well below LDAP coverage %.2f", rep.OverallRate(), ldap)
+	}
+}
+
+func TestSimulateCoverageDeterministic(t *testing.T) {
+	a := SimulateCoverage(5000, 3)
+	b := SimulateCoverage(5000, 3)
+	if a.TotalObserved != b.TotalObserved {
+		t.Error("same seed produced different coverage")
+	}
+	c := SimulateCoverage(5000, 4)
+	if a.TotalObserved == c.TotalObserved && a.ReflectionLogged == c.ReflectionLogged {
+		t.Error("different seeds suspiciously identical")
+	}
+}
+
+func TestCoverageRowOrderingAndRates(t *testing.T) {
+	rep := SimulateCoverage(50000, 5)
+	for i := 1; i < len(rep.PerMethod); i++ {
+		if rep.PerMethod[i].Logged > rep.PerMethod[i-1].Logged {
+			t.Fatal("rows not sorted by logged count")
+		}
+	}
+	for _, row := range rep.PerMethod {
+		if row.Observed > row.Logged {
+			t.Fatalf("%s: observed %d > logged %d", row.Method, row.Observed, row.Logged)
+		}
+		if r := row.Rate(); r < 0 || r > 1 {
+			t.Fatalf("%s: rate %v", row.Method, r)
+		}
+	}
+	if _, err := rep.MethodRate("NOPE"); err == nil {
+		t.Error("MethodRate accepted unknown method")
+	}
+	empty := MethodCoverage{}
+	if empty.Rate() != 0 {
+		t.Error("empty row rate should be 0")
+	}
+}
+
+func TestBooterMethodsSane(t *testing.T) {
+	var reflWeight, total float64
+	for _, m := range BooterMethods() {
+		if m.Weight <= 0 {
+			t.Errorf("%s weight %v", m.Name, m.Weight)
+		}
+		if m.Visibility < 0 || m.Visibility > 1 {
+			t.Errorf("%s visibility %v", m.Name, m.Visibility)
+		}
+		total += m.Weight
+		if m.Reflection {
+			reflWeight += m.Weight
+		}
+	}
+	if share := reflWeight / total; math.Abs(share-0.7) > 0.15 {
+		t.Errorf("reflection weight share = %.2f, want ~0.7 (paper: 70-91%% of attacks)", share)
+	}
+}

@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"booters/internal/geo"
+	"booters/internal/protocols"
+	"booters/internal/timeseries"
+)
+
+// WritePanelCSV writes the weekly panel as CSV with one row per week:
+// week start date, global count, one column per country, one per protocol.
+// The format round-trips through LoadPanelCSV, so downstream users can
+// export the synthetic data, substitute their own measurements, and re-run
+// the analysis pipelines.
+func WritePanelCSV(w io.Writer, p *Panel) error {
+	cw := csv.NewWriter(w)
+	header := []string{"week", "global"}
+	for _, c := range geo.Countries() {
+		header = append(header, c)
+	}
+	for _, proto := range protocols.All() {
+		header = append(header, proto.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for wk := 0; wk < p.Weeks; wk++ {
+		row[0] = p.Global.Week(wk).String()
+		row[1] = strconv.FormatFloat(p.Global.Values[wk], 'f', -1, 64)
+		i := 2
+		for _, c := range geo.Countries() {
+			row[i] = strconv.FormatFloat(p.ByCountry[c].Values[wk], 'f', -1, 64)
+			i++
+		}
+		for _, proto := range protocols.All() {
+			row[i] = strconv.FormatFloat(p.ByProtocol[proto].Values[wk], 'f', -1, 64)
+			i++
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write week %d: %w", wk, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadPanelCSV reads a panel written by WritePanelCSV (or externally
+// assembled in the same format). Unknown columns are ignored; missing
+// country or protocol columns load as zero series. The self-report panel
+// and ground-truth fields are not part of the CSV format and are left nil.
+func LoadPanelCSV(r io.Reader) (*Panel, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: CSV has no data rows")
+	}
+	header := records[0]
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, need := range []string{"week", "global"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("dataset: CSV missing %q column", need)
+		}
+	}
+
+	rows := records[1:]
+	first, err := time.Parse("2006-01-02", rows[0][col["week"]])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bad first week: %w", err)
+	}
+	start := timeseries.WeekOf(first)
+	weeks := len(rows)
+
+	p := &Panel{
+		Start:           start,
+		Weeks:           weeks,
+		Global:          timeseries.NewSeries(start, weeks),
+		ByCountry:       make(map[string]*timeseries.Series),
+		ByProtocol:      make(map[protocols.Protocol]*timeseries.Series),
+		CountryProtocol: make(map[string]map[protocols.Protocol]*timeseries.Series),
+	}
+	for _, c := range geo.Countries() {
+		p.ByCountry[c] = timeseries.NewSeries(start, weeks)
+	}
+	for _, proto := range protocols.All() {
+		p.ByProtocol[proto] = timeseries.NewSeries(start, weeks)
+	}
+
+	parse := func(row []string, name string, wk int) (float64, error) {
+		idx, ok := col[name]
+		if !ok || idx >= len(row) {
+			return 0, nil
+		}
+		v, err := strconv.ParseFloat(row[idx], 64)
+		if err != nil {
+			return 0, fmt.Errorf("dataset: week %d column %q: %w", wk, name, err)
+		}
+		return v, nil
+	}
+
+	for wk, row := range rows {
+		wkDate, err := time.Parse("2006-01-02", row[col["week"]])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: week %d: %w", wk, err)
+		}
+		if got := timeseries.WeekOf(wkDate); !got.Equal(p.Global.Week(wk)) {
+			return nil, fmt.Errorf("dataset: week %d is %s, want contiguous weekly rows (expected %s)",
+				wk, got, p.Global.Week(wk))
+		}
+		if p.Global.Values[wk], err = parse(row, "global", wk); err != nil {
+			return nil, err
+		}
+		for _, c := range geo.Countries() {
+			if p.ByCountry[c].Values[wk], err = parse(row, c, wk); err != nil {
+				return nil, err
+			}
+		}
+		for _, proto := range protocols.All() {
+			if p.ByProtocol[proto].Values[wk], err = parse(row, proto.String(), wk); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}

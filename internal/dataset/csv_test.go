@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"booters/internal/geo"
+	"booters/internal/protocols"
+)
+
+func TestPanelCSVRoundTrip(t *testing.T) {
+	orig := genPanel(t, 55, true)
+	var buf bytes.Buffer
+	if err := WritePanelCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPanelCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Weeks != orig.Weeks {
+		t.Fatalf("weeks = %d, want %d", loaded.Weeks, orig.Weeks)
+	}
+	if !loaded.Start.Equal(orig.Start) {
+		t.Fatalf("start = %v, want %v", loaded.Start, orig.Start)
+	}
+	for w := 0; w < orig.Weeks; w++ {
+		if loaded.Global.Values[w] != orig.Global.Values[w] {
+			t.Fatalf("week %d global differs: %v vs %v", w, loaded.Global.Values[w], orig.Global.Values[w])
+		}
+	}
+	for _, c := range geo.Countries() {
+		for w := 0; w < orig.Weeks; w += 17 {
+			if loaded.ByCountry[c].Values[w] != orig.ByCountry[c].Values[w] {
+				t.Fatalf("country %s week %d differs", c, w)
+			}
+		}
+	}
+	for _, proto := range protocols.All() {
+		for w := 0; w < orig.Weeks; w += 17 {
+			if loaded.ByProtocol[proto].Values[w] != orig.ByProtocol[proto].Values[w] {
+				t.Fatalf("protocol %v week %d differs", proto, w)
+			}
+		}
+	}
+}
+
+func TestLoadPanelCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "week,global\n",
+		"missing column": "when,global\n2016-06-06,5\n",
+		"bad number":     "week,global\n2016-06-06,notanumber\n",
+		"bad date":       "week,global\nyesterday,5\n",
+		"non-contiguous": "week,global\n2016-06-06,5\n2016-06-27,6\n",
+		"ragged quoting": "week,global\n\"2016-06-06,5\n",
+	}
+	for name, csv := range cases {
+		if _, err := LoadPanelCSV(strings.NewReader(csv)); err == nil {
+			t.Errorf("%s: LoadPanelCSV accepted %q", name, csv)
+		}
+	}
+}
+
+func TestLoadPanelCSVIgnoresUnknownColumns(t *testing.T) {
+	in := "week,global,XX,notes\n2016-06-06,100,5,hello\n2016-06-13,110,6,world\n"
+	p, err := LoadPanelCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weeks != 2 || p.Global.Values[1] != 110 {
+		t.Errorf("loaded %d weeks, global[1]=%v", p.Weeks, p.Global.Values[1])
+	}
+	// Missing country columns load as zeros.
+	if p.ByCountry[geo.US].Values[0] != 0 {
+		t.Error("missing country column should load as zero")
+	}
+}

@@ -1,0 +1,160 @@
+// Package geo assigns victim IPv4 addresses to countries for the simulated
+// address plan, reproducing the paper's conservative attribution behaviour
+// in which an attack may be attributed to more than one country (the source
+// of Table 3's shares summing above 100%).
+package geo
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Country codes used throughout the reproduction; the paper's Table 3 top-8
+// plus the Table 2 panel.
+const (
+	US = "US"
+	UK = "UK"
+	FR = "FR"
+	DE = "DE"
+	CN = "CN"
+	PL = "PL"
+	RU = "RU"
+	NL = "NL"
+	AU = "AU"
+	CA = "CA"
+	SA = "SA"
+)
+
+// Countries returns every country code in the simulated address plan, in a
+// stable order.
+func Countries() []string {
+	return []string{US, UK, FR, DE, CN, PL, RU, NL, AU, CA, SA}
+}
+
+// Table2Countries returns the per-country analysis panel of Table 2, in
+// column order.
+func Table2Countries() []string {
+	return []string{UK, US, RU, FR, DE, PL, NL}
+}
+
+// prefixEntry maps one IPv4 prefix to the countries it is attributed to.
+// Most prefixes attribute to a single country; a few "anycast/CDN-like"
+// prefixes attribute to two, reproducing the double-counting artifact.
+type prefixEntry struct {
+	prefix    netip.Prefix
+	countries []string
+}
+
+// Table is an immutable prefix-to-country lookup table.
+type Table struct {
+	entries []prefixEntry // sorted by prefix address
+}
+
+// NewTable builds the default simulated address plan: each country owns one
+// /8, and a handful of /16s inside them are dual-attributed to model the
+// conservative multi-country assignment the paper describes.
+func NewTable() *Table {
+	countries := Countries()
+	var entries []prefixEntry
+	for i, c := range countries {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(10 + i), 0, 0, 0}), 8)
+		entries = append(entries, prefixEntry{prefix: p, countries: []string{c}})
+	}
+	// Dual-attributed blocks: hosting ranges announced in two countries.
+	dual := []struct {
+		a, b  string
+		first byte
+	}{
+		{US, NL, 10}, // US /8
+		{US, UK, 10},
+		{DE, FR, 13}, // DE /8
+	}
+	second := byte(200)
+	for _, d := range dual {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{d.first, second, 0, 0}), 16)
+		entries = append(entries, prefixEntry{prefix: p, countries: []string{d.a, d.b}})
+		second++
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].prefix.Addr() != entries[j].prefix.Addr() {
+			return entries[i].prefix.Addr().Less(entries[j].prefix.Addr())
+		}
+		return entries[i].prefix.Bits() > entries[j].prefix.Bits()
+	})
+	return &Table{entries: entries}
+}
+
+// Lookup returns every country the address is attributed to (most-specific
+// multi-attribution wins over the covering single attribution). The second
+// return is false when the address is outside the simulated plan.
+func (t *Table) Lookup(addr netip.Addr) ([]string, bool) {
+	var best *prefixEntry
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.prefix.Contains(addr) {
+			continue
+		}
+		if best == nil || e.prefix.Bits() > best.prefix.Bits() {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best.countries, true
+}
+
+// AddrFor returns a deterministic address inside the given country's /8,
+// indexed by host (22 bits of host space are used). It fails for unknown
+// countries.
+func (t *Table) AddrFor(country string, host uint32) (netip.Addr, error) {
+	idx := -1
+	for i, c := range Countries() {
+		if c == country {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return netip.Addr{}, fmt.Errorf("geo: unknown country %q", country)
+	}
+	// Keep generated hosts out of the dual-attributed x.200.0.0/16 blocks
+	// unless explicitly requested via DualAddrFor.
+	b2 := byte(host >> 16 & 0x7F) // 0..127, avoids the 200+ dual range
+	b3 := byte(host >> 8)
+	b4 := byte(host)
+	return netip.AddrFrom4([4]byte{byte(10 + idx), b2, b3, b4}), nil
+}
+
+// DualAddrFor returns an address in one of the dual-attributed blocks, used
+// by the dataset generator to produce the Table 3 double-counting artifact.
+// which selects among the dual blocks (modulo the number of blocks) and
+// host picks the address within the chosen /16.
+func (t *Table) DualAddrFor(which int, host uint16) netip.Addr {
+	var duals []netip.Prefix
+	for _, e := range t.entries {
+		if len(e.countries) > 1 {
+			duals = append(duals, e.prefix)
+		}
+	}
+	p := duals[((which%len(duals))+len(duals))%len(duals)]
+	a4 := p.Addr().As4()
+	a4[2] = byte(host >> 8)
+	a4[3] = byte(host)
+	return netip.AddrFrom4(a4)
+}
+
+// Shares computes each country's percentage share of total attributions
+// given per-country counts and the total number of attacks. Because of
+// multi-attribution the shares may sum above 100%, as in Table 3.
+func Shares(countryCounts map[string]float64, totalAttacks float64) map[string]float64 {
+	out := make(map[string]float64, len(countryCounts))
+	if totalAttacks <= 0 {
+		return out
+	}
+	for c, n := range countryCounts {
+		out[c] = 100 * n / totalAttacks
+	}
+	return out
+}

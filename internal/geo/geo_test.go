@@ -1,0 +1,107 @@
+package geo
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountriesAndPanels(t *testing.T) {
+	if len(Countries()) != 11 {
+		t.Errorf("countries = %d, want 11", len(Countries()))
+	}
+	if len(Table2Countries()) != 7 {
+		t.Errorf("table 2 countries = %d, want 7", len(Table2Countries()))
+	}
+	seen := map[string]bool{}
+	for _, c := range Countries() {
+		if seen[c] {
+			t.Errorf("duplicate country %q", c)
+		}
+		seen[c] = true
+	}
+	for _, c := range Table2Countries() {
+		if !seen[c] {
+			t.Errorf("table 2 country %q not in plan", c)
+		}
+	}
+}
+
+func TestAddrForLookupRoundTrip(t *testing.T) {
+	tbl := NewTable()
+	for _, c := range Countries() {
+		addr, err := tbl.AddrFor(c, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := tbl.Lookup(addr)
+		if !ok {
+			t.Fatalf("no lookup for %v", addr)
+		}
+		if len(got) != 1 || got[0] != c {
+			t.Errorf("Lookup(AddrFor(%s)) = %v", c, got)
+		}
+	}
+}
+
+func TestAddrForUnknownCountry(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.AddrFor("XX", 0); err == nil {
+		t.Error("accepted unknown country")
+	}
+}
+
+func TestLookupOutsidePlan(t *testing.T) {
+	tbl := NewTable()
+	if _, ok := tbl.Lookup(netip.MustParseAddr("8.8.8.8")); ok {
+		t.Error("looked up an address outside the plan")
+	}
+}
+
+func TestDualAttribution(t *testing.T) {
+	tbl := NewTable()
+	for which := 0; which < 3; which++ {
+		addr := tbl.DualAddrFor(which, 99)
+		got, ok := tbl.Lookup(addr)
+		if !ok {
+			t.Fatalf("dual address %v not in plan", addr)
+		}
+		if len(got) != 2 {
+			t.Errorf("dual address %v attributed to %v, want 2 countries", addr, got)
+		}
+	}
+}
+
+func TestAddrForAvoidsDualBlocksProperty(t *testing.T) {
+	tbl := NewTable()
+	f := func(ci uint8, host uint32) bool {
+		c := Countries()[int(ci)%len(Countries())]
+		addr, err := tbl.AddrFor(c, host)
+		if err != nil {
+			return false
+		}
+		got, ok := tbl.Lookup(addr)
+		return ok && len(got) == 1 && got[0] == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShares(t *testing.T) {
+	counts := map[string]float64{US: 45, UK: 7, NL: 5}
+	shares := Shares(counts, 50)
+	if shares[US] != 90 {
+		t.Errorf("US share = %v, want 90", shares[US])
+	}
+	var total float64
+	for _, v := range shares {
+		total += v
+	}
+	if total <= 100 {
+		t.Errorf("double-counted shares sum %v, want > 100", total)
+	}
+	if got := Shares(counts, 0); len(got) != 0 {
+		t.Error("Shares with zero total should be empty")
+	}
+}

@@ -1,0 +1,155 @@
+package glm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"booters/internal/stats"
+)
+
+func TestDevianceNonNegativeAndZeroAtSaturation(t *testing.T) {
+	// Deviance of a fit is non-negative; fitted == observed gives ~0.
+	y := []float64{3, 7, 12, 5, 9}
+	if d := deviance(y, y, 0); math.Abs(d) > 1e-9 {
+		t.Errorf("saturated Poisson deviance = %g, want 0", d)
+	}
+	if d := deviance(y, y, 0.5); math.Abs(d) > 1e-9 {
+		t.Errorf("saturated NB deviance = %g, want 0", d)
+	}
+	mu := []float64{4, 6, 10, 6, 8}
+	if d := deviance(y, mu, 0); d <= 0 {
+		t.Errorf("Poisson deviance = %g, want positive", d)
+	}
+	if d := deviance(y, mu, 0.5); d <= 0 {
+		t.Errorf("NB deviance = %g, want positive", d)
+	}
+}
+
+func TestDevianceHandlesZeroCounts(t *testing.T) {
+	y := []float64{0, 0, 5, 3}
+	mu := []float64{1, 2, 4, 3}
+	for _, alpha := range []float64{0, 0.3} {
+		if d := deviance(y, mu, alpha); math.IsNaN(d) || math.IsInf(d, 0) || d <= 0 {
+			t.Errorf("alpha=%v: deviance = %v", alpha, d)
+		}
+	}
+}
+
+func TestLogLikMatchesDistribution(t *testing.T) {
+	// The internal logLik must agree with the NB/Poisson PMFs from stats.
+	y := []float64{0, 2, 5, 11}
+	mu := []float64{1.5, 2.5, 4, 9}
+	for _, alpha := range []float64{0, 0.4} {
+		want := 0.0
+		for i := range y {
+			if alpha == 0 {
+				want += stats.Poisson{Lambda: mu[i]}.LogPMF(int(y[i]))
+			} else {
+				want += stats.NegBinomial{Mu: mu[i], Alpha: alpha}.LogPMF(int(y[i]))
+			}
+		}
+		got := logLik(y, mu, alpha)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("alpha=%v: logLik = %.10f, want %.10f", alpha, got, want)
+		}
+	}
+}
+
+func TestConvergedFlagSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	x := simDesign(500, rng)
+	y := simCounts(x, []float64{2, 0.3, -0.2}, 0, rng)
+	res, err := Fit(Poisson, x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("standard fit did not converge")
+	}
+	if res.Iterations < 2 {
+		t.Errorf("iterations = %d, suspiciously few", res.Iterations)
+	}
+	// With a one-iteration budget the flag must be false.
+	res1, err := Fit(Poisson, x, y, nil, Options{MaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Converged {
+		t.Error("one-iteration fit claims convergence")
+	}
+}
+
+func TestAllZeroCountsFit(t *testing.T) {
+	// All-zero responses are a legal (if degenerate) count series; the fit
+	// must not blow up and the mean must approach zero.
+	x := stats.NewDense(30, 1)
+	for i := 0; i < 30; i++ {
+		x.Set(i, 0, 1)
+	}
+	y := make([]float64, 30)
+	res, err := Fit(Poisson, x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := res.Fitted[0]; mean > 0.01 {
+		t.Errorf("fitted mean = %v on all-zero data", mean)
+	}
+}
+
+func TestLargeCountsStayFinite(t *testing.T) {
+	// Weekly attack counts are ~1e5; coefficients and SEs must stay
+	// finite at that scale.
+	rng := rand.New(rand.NewSource(61))
+	n := 200
+	x := stats.NewDense(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		x.Set(i, 1, float64(i))
+		mu := 1e5 * math.Exp(0.005*float64(i))
+		y[i] = float64(stats.NegBinomial{Mu: mu, Alpha: 0.01}.Rand(rng))
+	}
+	res, err := Fit(NegativeBinomial, x, y, []string{"c", "t"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Coefficients {
+		if math.IsNaN(c.Estimate) || math.IsInf(c.Estimate, 0) || math.IsNaN(c.SE) {
+			t.Errorf("%s: estimate %v SE %v", c.Name, c.Estimate, c.SE)
+		}
+	}
+	tc, _ := res.Coef("t")
+	if math.Abs(tc.Estimate-0.005) > 0.001 {
+		t.Errorf("trend = %v, want ~0.005", tc.Estimate)
+	}
+	if res.Alpha < 0.003 || res.Alpha > 0.03 {
+		t.Errorf("alpha = %v, want ~0.01", res.Alpha)
+	}
+}
+
+func TestLogLikMonotoneInFitQualityProperty(t *testing.T) {
+	// Moving fitted means toward the observations never lowers the
+	// likelihood (for matched-length perturbations toward y).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		y := make([]float64, n)
+		far := make([]float64, n)
+		near := make([]float64, n)
+		for i := range y {
+			y[i] = float64(1 + rng.Intn(50))
+			off := 0.5 + rng.Float64()*2
+			far[i] = y[i] * off
+			near[i] = y[i] + (far[i]-y[i])*0.3 // closer to y than far
+			if near[i] <= 0 {
+				near[i] = 0.1
+			}
+		}
+		return logLik(y, near, 0.2) >= logLik(y, far, 0.2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

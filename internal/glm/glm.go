@@ -1,0 +1,504 @@
+// Package glm implements generalized linear models for count data with a
+// log link: Poisson regression and NB2 negative binomial regression (the
+// model family the paper fits with Stata's nbreg).
+//
+// Estimation is maximum likelihood: iteratively reweighted least squares
+// (IRLS) for the coefficient vector given the dispersion, and golden-section
+// search on the profile log-likelihood for the NB2 dispersion alpha.
+// Standard errors come from the expected information matrix (X' W X)^{-1}.
+package glm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"booters/internal/stats"
+)
+
+// Family selects the conditional distribution of the response.
+type Family int
+
+const (
+	// Poisson fits a Poisson GLM with log link (Var(y) = mu).
+	Poisson Family = iota
+	// NegativeBinomial fits an NB2 GLM with log link
+	// (Var(y) = mu + alpha*mu^2), estimating alpha by profile likelihood.
+	NegativeBinomial
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case Poisson:
+		return "poisson"
+	case NegativeBinomial:
+		return "negative binomial"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// ErrNotConverged is returned when IRLS or the dispersion search fails to
+// converge within the iteration budget.
+var ErrNotConverged = errors.New("glm: estimation did not converge")
+
+// Options tunes the fitting procedure. The zero value selects sensible
+// defaults.
+type Options struct {
+	// MaxIter bounds the IRLS iterations per beta fit (default 100).
+	MaxIter int
+	// Tol is the convergence tolerance on the relative change in deviance
+	// (default 1e-10).
+	Tol float64
+	// AlphaMin and AlphaMax bound the NB2 dispersion search
+	// (defaults 1e-8 and 1e4).
+	AlphaMin, AlphaMax float64
+	// Offset, if non-nil, is added to the linear predictor (log scale) for
+	// each observation; used for exposure adjustment.
+	Offset []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.AlphaMin == 0 {
+		o.AlphaMin = 1e-8
+	}
+	if o.AlphaMax == 0 {
+		o.AlphaMax = 1e4
+	}
+	return o
+}
+
+// Coefficient is one row of a fitted model's coefficient table.
+type Coefficient struct {
+	// Name is the column label from the design matrix.
+	Name string
+	// Estimate is the fitted coefficient on the log scale.
+	Estimate float64
+	// SE is the standard error of the estimate.
+	SE float64
+	// Z is Estimate / SE.
+	Z float64
+	// P is the two-sided p-value from the standard normal distribution.
+	P float64
+	// Lower95 and Upper95 bound the 95% confidence interval.
+	Lower95, Upper95 float64
+}
+
+// IRR returns the incidence rate ratio exp(Estimate).
+func (c Coefficient) IRR() float64 { return math.Exp(c.Estimate) }
+
+// PercentChange returns 100*(exp(Estimate)-1), the percentage change in the
+// expected count associated with the regressor (how the paper reports
+// intervention effects, e.g. "-32%").
+func (c Coefficient) PercentChange() float64 { return 100 * (math.Exp(c.Estimate) - 1) }
+
+// PercentChangeCI returns the 95% CI for the percentage change.
+func (c Coefficient) PercentChangeCI() (lo, hi float64) {
+	return 100 * (math.Exp(c.Lower95) - 1), 100 * (math.Exp(c.Upper95) - 1)
+}
+
+// Stars returns the paper's significance markers: "**" for p < 0.01,
+// "*" for p < 0.05, "" otherwise.
+func (c Coefficient) Stars() string {
+	switch {
+	case c.P < 0.01:
+		return "**"
+	case c.P < 0.05:
+		return "*"
+	default:
+		return ""
+	}
+}
+
+// Result is a fitted count-data GLM.
+type Result struct {
+	// Family records which model family was fitted.
+	Family Family
+	// Coefficients holds the coefficient table in design-column order.
+	Coefficients []Coefficient
+	// Alpha is the fitted NB2 dispersion (0 for Poisson).
+	Alpha float64
+	// LogLik is the maximized log-likelihood.
+	LogLik float64
+	// Deviance is the residual deviance.
+	Deviance float64
+	// Fitted holds the fitted means mu_i.
+	Fitted []float64
+	// LinearPredictor holds eta_i = x_i' beta (+ offset).
+	LinearPredictor []float64
+	// PearsonResiduals holds (y_i - mu_i)/sqrt(Var(y_i)).
+	PearsonResiduals []float64
+	// Cov is the estimated covariance matrix of the coefficients.
+	Cov *stats.Dense
+	// N is the number of observations; P the number of coefficients.
+	N, P int
+	// Iterations is the number of IRLS iterations of the final beta fit.
+	Iterations int
+	// Converged reports whether the fit met the tolerance.
+	Converged bool
+}
+
+// Coef returns the coefficient with the given name, or an error if no such
+// column exists.
+func (r *Result) Coef(name string) (Coefficient, error) {
+	for _, c := range r.Coefficients {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Coefficient{}, fmt.Errorf("glm: no coefficient named %q", name)
+}
+
+// AIC returns Akaike's information criterion. The NB dispersion counts as an
+// extra parameter.
+func (r *Result) AIC() float64 {
+	k := float64(r.P)
+	if r.Family == NegativeBinomial {
+		k++
+	}
+	return 2*k - 2*r.LogLik
+}
+
+// BIC returns the Bayesian information criterion.
+func (r *Result) BIC() float64 {
+	k := float64(r.P)
+	if r.Family == NegativeBinomial {
+		k++
+	}
+	return k*math.Log(float64(r.N)) - 2*r.LogLik
+}
+
+// Fit fits a count GLM of y on design matrix x (which must contain any
+// desired intercept column). names labels the columns of x; it may be nil,
+// in which case columns are named b0, b1, ....
+func Fit(family Family, x *stats.Dense, y []float64, names []string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n, p := x.Dims()
+	if len(y) != n {
+		return nil, fmt.Errorf("glm: y length %d != design rows %d", len(y), n)
+	}
+	if n <= p {
+		return nil, fmt.Errorf("glm: n=%d observations with p=%d coefficients", n, p)
+	}
+	if opts.Offset != nil && len(opts.Offset) != n {
+		return nil, fmt.Errorf("glm: offset length %d != rows %d", len(opts.Offset), n)
+	}
+	for i, v := range y {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("glm: y[%d] = %v is not a valid count", i, v)
+		}
+	}
+	if names == nil {
+		names = make([]string, p)
+		for j := range names {
+			names[j] = fmt.Sprintf("b%d", j)
+		}
+	}
+	if len(names) != p {
+		return nil, fmt.Errorf("glm: %d names for %d columns", len(names), p)
+	}
+
+	var (
+		beta  []float64
+		alpha float64
+		fit   *irlsState
+		err   error
+	)
+	switch family {
+	case Poisson:
+		fit, err = irls(x, y, 0, opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		beta, alpha = fit.beta, 0
+	case NegativeBinomial:
+		// Start from the Poisson fit, then profile out alpha.
+		pois, perr := irls(x, y, 0, opts, nil)
+		if perr != nil {
+			return nil, perr
+		}
+		alpha, fit, err = profileAlpha(x, y, opts, pois)
+		if err != nil {
+			return nil, err
+		}
+		beta = fit.beta
+	default:
+		return nil, fmt.Errorf("glm: unknown family %v", family)
+	}
+
+	// Covariance from the expected information at the optimum.
+	info, err := stats.XtWX(x, fit.weights)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := stats.InverseSPD(info)
+	if err != nil {
+		return nil, fmt.Errorf("glm: covariance: %w", err)
+	}
+
+	coefs := make([]Coefficient, p)
+	for j := 0; j < p; j++ {
+		se := math.Sqrt(cov.At(j, j))
+		z := beta[j] / se
+		pval := 2 * stats.NormalCDF(-math.Abs(z))
+		coefs[j] = Coefficient{
+			Name:     names[j],
+			Estimate: beta[j],
+			SE:       se,
+			Z:        z,
+			P:        pval,
+			Lower95:  beta[j] - 1.959963984540054*se,
+			Upper95:  beta[j] + 1.959963984540054*se,
+		}
+	}
+
+	pearson := make([]float64, n)
+	for i := range y {
+		mu := fit.mu[i]
+		v := mu + alpha*mu*mu
+		pearson[i] = (y[i] - mu) / math.Sqrt(v)
+	}
+
+	return &Result{
+		Family:           family,
+		Coefficients:     coefs,
+		Alpha:            alpha,
+		LogLik:           logLik(y, fit.mu, alpha),
+		Deviance:         deviance(y, fit.mu, alpha),
+		Fitted:           fit.mu,
+		LinearPredictor:  fit.eta,
+		PearsonResiduals: pearson,
+		Cov:              cov,
+		N:                n,
+		P:                p,
+		Iterations:       fit.iterations,
+		Converged:        fit.converged,
+	}, nil
+}
+
+// irlsState holds the working quantities of a converged IRLS fit.
+type irlsState struct {
+	beta       []float64
+	eta        []float64
+	mu         []float64
+	weights    []float64
+	iterations int
+	converged  bool
+}
+
+// irls runs iteratively reweighted least squares for a log-link count GLM
+// with fixed NB2 dispersion alpha (alpha = 0 gives Poisson). warm, if
+// non-nil, supplies starting values.
+func irls(x *stats.Dense, y []float64, alpha float64, opts Options, warm *irlsState) (*irlsState, error) {
+	n, p := x.Dims()
+	st := &irlsState{
+		beta:    make([]float64, p),
+		eta:     make([]float64, n),
+		mu:      make([]float64, n),
+		weights: make([]float64, n),
+	}
+	if warm != nil {
+		copy(st.beta, warm.beta)
+		copy(st.eta, warm.eta)
+		copy(st.mu, warm.mu)
+	} else {
+		// Standard GLM start: mu = y + 0.5 (guards zeros), eta = log mu.
+		for i := range y {
+			st.mu[i] = y[i] + 0.5
+			st.eta[i] = math.Log(st.mu[i])
+			if opts.Offset != nil {
+				st.eta[i] -= opts.Offset[i]
+			}
+		}
+	}
+
+	z := make([]float64, n)
+	prevDev := math.Inf(1)
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		st.iterations = iter
+		// Working weights and response for the log link:
+		//   w_i = mu_i / (1 + alpha*mu_i), z_i = eta_i + (y_i - mu_i)/mu_i.
+		for i := 0; i < n; i++ {
+			mu := st.mu[i]
+			if mu < 1e-10 {
+				mu = 1e-10
+			}
+			st.weights[i] = mu / (1 + alpha*mu)
+			etaNoOff := st.eta[i]
+			if opts.Offset != nil {
+				etaNoOff -= opts.Offset[i]
+			}
+			z[i] = etaNoOff + (y[i]-st.mu[i])/mu
+		}
+		xtwx, err := stats.XtWX(x, st.weights)
+		if err != nil {
+			return nil, err
+		}
+		xtwz, err := stats.XtWy(x, st.weights, z)
+		if err != nil {
+			return nil, err
+		}
+		beta, err := stats.SolveSPD(xtwx, xtwz)
+		if err != nil {
+			return nil, fmt.Errorf("glm: IRLS step %d: %w", iter, err)
+		}
+		st.beta = beta
+		etaBase, err := x.MulVec(beta)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			e := etaBase[i]
+			if opts.Offset != nil {
+				e += opts.Offset[i]
+			}
+			// Clamp the linear predictor to keep exp finite.
+			if e > 700 {
+				e = 700
+			}
+			st.eta[i] = e
+			st.mu[i] = math.Exp(e)
+		}
+		dev := deviance(y, st.mu, alpha)
+		if math.Abs(dev-prevDev) <= opts.Tol*(math.Abs(dev)+0.1) {
+			st.converged = true
+			return st, nil
+		}
+		prevDev = dev
+	}
+	// Return the best effort; callers can check Converged.
+	return st, nil
+}
+
+// logLik returns the log-likelihood of counts y under means mu with NB2
+// dispersion alpha (alpha = 0 means Poisson).
+func logLik(y, mu []float64, alpha float64) float64 {
+	var ll float64
+	if alpha <= 0 {
+		for i := range y {
+			ll += y[i]*math.Log(mu[i]) - mu[i] - stats.Lgamma(y[i]+1)
+		}
+		return ll
+	}
+	r := 1 / alpha
+	for i := range y {
+		m := mu[i]
+		ll += stats.Lgamma(y[i]+r) - stats.Lgamma(r) - stats.Lgamma(y[i]+1) +
+			y[i]*math.Log(alpha*m/(1+alpha*m)) - r*math.Log(1+alpha*m)
+	}
+	return ll
+}
+
+// deviance returns the residual deviance under the given family.
+func deviance(y, mu []float64, alpha float64) float64 {
+	var d float64
+	if alpha <= 0 {
+		for i := range y {
+			if y[i] > 0 {
+				d += y[i]*math.Log(y[i]/mu[i]) - (y[i] - mu[i])
+			} else {
+				d += mu[i]
+			}
+		}
+		return 2 * d
+	}
+	r := 1 / alpha
+	for i := range y {
+		if y[i] > 0 {
+			d += y[i]*math.Log(y[i]/mu[i]) - (y[i]+r)*math.Log((y[i]+r)/(mu[i]+r))
+		} else {
+			d += r * math.Log((mu[i]+r)/r)
+		}
+	}
+	return 2 * d
+}
+
+// profileAlpha maximizes the NB2 profile log-likelihood over alpha by
+// golden-section search on log(alpha), refitting beta at each candidate.
+func profileAlpha(x *stats.Dense, y []float64, opts Options, warm *irlsState) (float64, *irlsState, error) {
+	type eval struct {
+		logAlpha float64
+		ll       float64
+		fit      *irlsState
+	}
+	evaluate := func(logAlpha float64, start *irlsState) (eval, error) {
+		a := math.Exp(logAlpha)
+		fit, err := irls(x, y, a, opts, start)
+		if err != nil {
+			return eval{}, err
+		}
+		return eval{logAlpha: logAlpha, ll: logLik(y, fit.mu, a), fit: fit}, nil
+	}
+
+	lo := math.Log(opts.AlphaMin)
+	hi := math.Log(opts.AlphaMax)
+
+	// Coarse scan to bracket the maximum (the profile likelihood in
+	// log-alpha is unimodal for NB2).
+	const scanPoints = 15
+	best := eval{ll: math.Inf(-1)}
+	var bestIdx int
+	grid := make([]eval, scanPoints)
+	for i := 0; i < scanPoints; i++ {
+		la := lo + (hi-lo)*float64(i)/(scanPoints-1)
+		ev, err := evaluate(la, warm)
+		if err != nil {
+			return 0, nil, err
+		}
+		grid[i] = ev
+		if ev.ll > best.ll {
+			best, bestIdx = ev, i
+		}
+	}
+	a := lo
+	b := hi
+	if bestIdx > 0 {
+		a = grid[bestIdx-1].logAlpha
+	}
+	if bestIdx < scanPoints-1 {
+		b = grid[bestIdx+1].logAlpha
+	}
+
+	// Golden-section refinement on [a, b].
+	const invPhi = 0.6180339887498949
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, err := evaluate(c, best.fit)
+	if err != nil {
+		return 0, nil, err
+	}
+	fd, err := evaluate(d, best.fit)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < 60 && b-a > 1e-5; i++ {
+		if fc.ll >= fd.ll {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			if fc, err = evaluate(c, fd.fit); err != nil {
+				return 0, nil, err
+			}
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			if fd, err = evaluate(d, fc.fit); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	final := fc
+	if fd.ll > fc.ll {
+		final = fd
+	}
+	if best.ll > final.ll {
+		final = best
+	}
+	return math.Exp(final.logAlpha), final.fit, nil
+}

@@ -1,0 +1,246 @@
+package glm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"booters/internal/stats"
+)
+
+// simDesign builds an n x 3 design: intercept, standard normal covariate,
+// and a binary dummy.
+func simDesign(n int, rng *rand.Rand) *stats.Dense {
+	x := stats.NewDense(n, 3)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		x.Set(i, 1, rng.NormFloat64())
+		if rng.Float64() < 0.3 {
+			x.Set(i, 2, 1)
+		}
+	}
+	return x
+}
+
+func simCounts(x *stats.Dense, beta []float64, alpha float64, rng *rand.Rand) []float64 {
+	n, _ := x.Dims()
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		eta := 0.0
+		for j, b := range beta {
+			eta += x.At(i, j) * b
+		}
+		mu := math.Exp(eta)
+		if alpha == 0 {
+			y[i] = float64(stats.Poisson{Lambda: mu}.Rand(rng))
+		} else {
+			y[i] = float64(stats.NegBinomial{Mu: mu, Alpha: alpha}.Rand(rng))
+		}
+	}
+	return y
+}
+
+func TestPoissonRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := simDesign(2000, rng)
+	truth := []float64{2.0, 0.5, -0.4}
+	y := simCounts(x, truth, 0, rng)
+	res, err := Fit(Poisson, x, y, []string{"const", "z", "dummy"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("Poisson fit did not converge")
+	}
+	for j, want := range truth {
+		c := res.Coefficients[j]
+		if math.Abs(c.Estimate-want) > 4*c.SE+0.02 {
+			t.Errorf("%s = %.4f (SE %.4f), want %.4f", c.Name, c.Estimate, c.SE, want)
+		}
+	}
+	if res.Alpha != 0 {
+		t.Errorf("Poisson alpha = %v, want 0", res.Alpha)
+	}
+}
+
+func TestNegBinomialRecoversCoefficientsAndAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := simDesign(4000, rng)
+	truth := []float64{3.0, 0.4, -0.5}
+	const trueAlpha = 0.3
+	y := simCounts(x, truth, trueAlpha, rng)
+	res, err := Fit(NegativeBinomial, x, y, []string{"const", "z", "dummy"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range truth {
+		c := res.Coefficients[j]
+		if math.Abs(c.Estimate-want) > 4*c.SE+0.02 {
+			t.Errorf("%s = %.4f (SE %.4f), want %.4f", c.Name, c.Estimate, c.SE, want)
+		}
+	}
+	if math.Abs(res.Alpha-trueAlpha) > 0.05 {
+		t.Errorf("alpha = %.4f, want ~%.2f", res.Alpha, trueAlpha)
+	}
+}
+
+func TestNBBeatsPoissonOnOverdispersedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := simDesign(1500, rng)
+	y := simCounts(x, []float64{3, 0.3, -0.2}, 0.5, rng)
+	pois, err := Fit(Poisson, x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := Fit(NegativeBinomial, x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.LogLik <= pois.LogLik {
+		t.Errorf("NB loglik %.2f should exceed Poisson %.2f on overdispersed data", nb.LogLik, pois.LogLik)
+	}
+	if nb.AIC() >= pois.AIC() {
+		t.Errorf("NB AIC %.2f should beat Poisson %.2f", nb.AIC(), pois.AIC())
+	}
+	// Poisson SEs are badly optimistic under overdispersion: the NB SE
+	// must be larger.
+	if nb.Coefficients[1].SE <= pois.Coefficients[1].SE {
+		t.Errorf("NB SE %.5f should exceed Poisson SE %.5f", nb.Coefficients[1].SE, pois.Coefficients[1].SE)
+	}
+}
+
+func TestNBAlphaNearZeroOnPoissonData(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	x := simDesign(2000, rng)
+	y := simCounts(x, []float64{2.5, 0.3, -0.3}, 0, rng) // pure Poisson
+	nb, err := Fit(NegativeBinomial, x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Alpha > 0.01 {
+		t.Errorf("alpha = %v on equidispersed data, want ~0", nb.Alpha)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	x := stats.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		x.Set(i, 0, 1)
+		x.Set(i, 1, float64(i))
+	}
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if _, err := Fit(Poisson, x, y[:5], nil, Options{}); err == nil {
+		t.Error("accepted mismatched y length")
+	}
+	bad := append([]float64(nil), y...)
+	bad[3] = -2
+	if _, err := Fit(Poisson, x, bad, nil, Options{}); err == nil {
+		t.Error("accepted negative count")
+	}
+	if _, err := Fit(Poisson, x, y, []string{"only-one"}, Options{}); err == nil {
+		t.Error("accepted wrong number of names")
+	}
+	if _, err := Fit(Family(99), x, y, nil, Options{}); err == nil {
+		t.Error("accepted unknown family")
+	}
+	small := stats.NewDense(2, 2)
+	if _, err := Fit(Poisson, small, []float64{1, 2}, nil, Options{}); err == nil {
+		t.Error("accepted n <= p")
+	}
+	if _, err := Fit(Poisson, x, y, nil, Options{Offset: []float64{1}}); err == nil {
+		t.Error("accepted bad offset length")
+	}
+}
+
+func TestOffsetActsAsExposure(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 1500
+	x := stats.NewDense(n, 2)
+	offset := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		z := rng.NormFloat64()
+		x.Set(i, 1, z)
+		exposure := 1.0 + rng.Float64()*4 // varying exposure
+		offset[i] = math.Log(exposure)
+		mu := exposure * math.Exp(1.0+0.5*z)
+		y[i] = float64(stats.Poisson{Lambda: mu}.Rand(rng))
+	}
+	res, err := Fit(Poisson, x, y, []string{"const", "z"}, Options{Offset: offset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Coefficients[0].Estimate-1.0) > 0.05 {
+		t.Errorf("const = %v, want ~1.0", res.Coefficients[0].Estimate)
+	}
+	if math.Abs(res.Coefficients[1].Estimate-0.5) > 0.05 {
+		t.Errorf("z = %v, want ~0.5", res.Coefficients[1].Estimate)
+	}
+}
+
+func TestCoefficientHelpers(t *testing.T) {
+	c := Coefficient{Estimate: math.Log(0.7), Lower95: math.Log(0.6), Upper95: math.Log(0.8), P: 0.003}
+	if math.Abs(c.IRR()-0.7) > 1e-12 {
+		t.Errorf("IRR = %v, want 0.7", c.IRR())
+	}
+	if math.Abs(c.PercentChange()-(-30)) > 1e-9 {
+		t.Errorf("PercentChange = %v, want -30", c.PercentChange())
+	}
+	lo, hi := c.PercentChangeCI()
+	if math.Abs(lo-(-40)) > 1e-9 || math.Abs(hi-(-20)) > 1e-9 {
+		t.Errorf("CI = [%v, %v], want [-40, -20]", lo, hi)
+	}
+	if c.Stars() != "**" {
+		t.Errorf("Stars = %q, want **", c.Stars())
+	}
+	if (Coefficient{P: 0.03}).Stars() != "*" {
+		t.Error("p=0.03 should be *")
+	}
+	if (Coefficient{P: 0.2}).Stars() != "" {
+		t.Error("p=0.2 should be unstarred")
+	}
+}
+
+func TestResultCoefLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	x := simDesign(200, rng)
+	y := simCounts(x, []float64{2, 0.2, 0.1}, 0, rng)
+	res, err := Fit(Poisson, x, y, []string{"const", "z", "dummy"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Coef("z"); err != nil {
+		t.Errorf("Coef(z): %v", err)
+	}
+	if _, err := res.Coef("missing"); err == nil {
+		t.Error("Coef(missing) should fail")
+	}
+	if res.BIC() <= res.AIC() && res.N > 7 {
+		t.Errorf("BIC %v should exceed AIC %v for n > 7", res.BIC(), res.AIC())
+	}
+}
+
+func TestPearsonResidualsScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	x := simDesign(3000, rng)
+	y := simCounts(x, []float64{3, 0.3, -0.3}, 0.2, rng)
+	res, err := Fit(NegativeBinomial, x, y, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pearson residuals under a correct model have variance ~1.
+	v := stats.Variance(res.PearsonResiduals)
+	if v < 0.7 || v > 1.3 {
+		t.Errorf("Pearson residual variance = %v, want ~1", v)
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Poisson.String() != "poisson" {
+		t.Error("Poisson.String()")
+	}
+	if NegativeBinomial.String() != "negative binomial" {
+		t.Error("NegativeBinomial.String()")
+	}
+}

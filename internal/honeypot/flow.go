@@ -1,0 +1,218 @@
+// Package honeypot implements the measurement side of the paper's first
+// dataset: a fleet of UDP-reflection honeypot sensors ("hopscotch"), the
+// flow aggregation rule that groups packets to the same victim and protocol
+// until a 15-minute quiet gap, and the attack/scan classifier ("if any
+// sensor received more than 5 packets... we deem it an attack, if not...
+// a scan").
+//
+// The package also reproduces the operational behaviours described in the
+// paper's ethics appendix: per-destination rate limiting, a central victim
+// registry that makes every sensor refuse to reflect to an identified
+// victim, and suppression of replies to known white-hat scanners.
+package honeypot
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"booters/internal/protocols"
+)
+
+// FlowGap is the quiet interval that terminates a flow: "until there is a
+// gap of at least 15 minutes with no packets being received by any sensor".
+const FlowGap = 15 * time.Minute
+
+// AttackThreshold is the per-sensor packet count above which a flow is an
+// attack: "if any sensor received more than 5 packets".
+const AttackThreshold = 5
+
+// Packet is one UDP datagram observed by a sensor, already attributed to a
+// (possibly spoofed) source/victim address.
+type Packet struct {
+	// Time is the sensor receive timestamp.
+	Time time.Time
+	// Victim is the packet's source address — under spoofing, the victim
+	// the reflected traffic is aimed at.
+	Victim netip.Addr
+	// Proto is the amplification protocol of the destination port.
+	Proto protocols.Protocol
+	// Sensor is the ID of the receiving sensor.
+	Sensor int
+	// Size is the payload length in bytes.
+	Size int
+}
+
+// FlowKey identifies the aggregation bucket of a packet. Flow keys are
+// comparable and can be used directly as map keys.
+type FlowKey struct {
+	// Victim is the target address (or prefix representative).
+	Victim netip.Addr
+	// Proto is the amplification protocol.
+	Proto protocols.Protocol
+}
+
+// Flow is a completed group of packets to one victim over one protocol,
+// closed by a 15-minute quiet gap.
+type Flow struct {
+	// Key identifies the victim and protocol.
+	Key FlowKey
+	// First and Last are the timestamps of the first and last packet.
+	First, Last time.Time
+	// PacketsBySensor counts packets per sensor ID.
+	PacketsBySensor map[int]int
+	// TotalPackets is the number of packets across all sensors.
+	TotalPackets int
+	// TotalBytes is the byte volume across all sensors.
+	TotalBytes int
+}
+
+// MaxSensorPackets returns the largest per-sensor packet count.
+func (f *Flow) MaxSensorPackets() int {
+	var m int
+	for _, n := range f.PacketsBySensor {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// IsAttack applies the paper's classification rule: the flow is an attack
+// iff some sensor saw more than AttackThreshold packets.
+func (f *Flow) IsAttack() bool { return f.MaxSensorPackets() > AttackThreshold }
+
+// Duration returns the time between the first and last packet.
+func (f *Flow) Duration() time.Duration { return f.Last.Sub(f.First) }
+
+// Classification labels a completed flow.
+type Classification int
+
+const (
+	// Scan means no sensor exceeded the attack threshold.
+	Scan Classification = iota
+	// Attack means at least one sensor exceeded the attack threshold.
+	Attack
+)
+
+// String returns "scan" or "attack".
+func (c Classification) String() string {
+	if c == Attack {
+		return "attack"
+	}
+	return "scan"
+}
+
+// Classify returns the flow's classification.
+func Classify(f *Flow) Classification {
+	if f.IsAttack() {
+		return Attack
+	}
+	return Scan
+}
+
+// Aggregator groups a time-ordered packet stream into flows. Packets must
+// be offered in non-decreasing time order (the merged view across all
+// sensors); out-of-order packets within a small tolerance are accepted but
+// never reopen a closed flow.
+type Aggregator struct {
+	open      map[FlowKey]*Flow
+	completed []*Flow
+	lastTime  time.Time
+	gap       time.Duration
+}
+
+// NewAggregator returns an empty aggregator using the paper's 15-minute
+// quiet gap.
+func NewAggregator() *Aggregator {
+	return NewAggregatorWithGap(FlowGap)
+}
+
+// NewAggregatorWithGap returns an aggregator with a custom quiet gap, used
+// for sensitivity analysis of the paper's 15-minute rule. It panics for a
+// non-positive gap.
+func NewAggregatorWithGap(gap time.Duration) *Aggregator {
+	if gap <= 0 {
+		panic("honeypot: aggregator gap must be positive")
+	}
+	return &Aggregator{open: make(map[FlowKey]*Flow), gap: gap}
+}
+
+// Offer adds one packet to the aggregator, first closing any flows whose
+// quiet gap has elapsed as of the packet's timestamp.
+func (a *Aggregator) Offer(p Packet) error {
+	if p.Time.Before(a.lastTime.Add(-a.gap)) {
+		return fmt.Errorf("honeypot: packet at %v is more than one flow-gap older than stream head %v", p.Time, a.lastTime)
+	}
+	if p.Time.After(a.lastTime) {
+		a.lastTime = p.Time
+	}
+	a.expire(p.Time)
+	key := FlowKey{Victim: p.Victim, Proto: p.Proto}
+	f, ok := a.open[key]
+	if !ok || p.Time.Sub(f.Last) >= a.gap {
+		if ok {
+			// Quiet gap elapsed for exactly this key: close the old flow.
+			a.completed = append(a.completed, f)
+		}
+		f = &Flow{
+			Key:             key,
+			First:           p.Time,
+			PacketsBySensor: make(map[int]int),
+		}
+		a.open[key] = f
+	}
+	if p.Time.After(f.Last) {
+		f.Last = p.Time
+	}
+	f.PacketsBySensor[p.Sensor]++
+	f.TotalPackets++
+	f.TotalBytes += p.Size
+	return nil
+}
+
+// expire closes every open flow whose last packet is at least one quiet gap
+// before now.
+func (a *Aggregator) expire(now time.Time) {
+	for key, f := range a.open {
+		if now.Sub(f.Last) >= a.gap {
+			a.completed = append(a.completed, f)
+			delete(a.open, key)
+		}
+	}
+}
+
+// Advance closes flows that have been quiet as of the given time without
+// offering a packet (end-of-stream housekeeping).
+func (a *Aggregator) Advance(now time.Time) {
+	if now.After(a.lastTime) {
+		a.lastTime = now
+	}
+	a.expire(now)
+}
+
+// Flush closes all remaining open flows and returns every completed flow in
+// first-packet order. The aggregator is reset.
+func (a *Aggregator) Flush() []*Flow {
+	for key, f := range a.open {
+		a.completed = append(a.completed, f)
+		delete(a.open, key)
+	}
+	out := a.completed
+	a.completed = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	return out
+}
+
+// Completed returns (and drains) the flows closed so far, in first-packet
+// order, leaving open flows in place.
+func (a *Aggregator) Completed() []*Flow {
+	out := a.completed
+	a.completed = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	return out
+}
+
+// OpenFlows returns the number of currently open flows.
+func (a *Aggregator) OpenFlows() int { return len(a.open) }

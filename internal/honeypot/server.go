@@ -1,0 +1,162 @@
+package honeypot
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"booters/internal/protocols"
+)
+
+// Clock supplies timestamps to a Server; tests and simulations inject a
+// synthetic clock, deployments use time.Now.
+type Clock func() time.Time
+
+// Server binds one sensor to a real UDP socket and answers datagrams with
+// the sensor's reflection policy. A deployment would run one Server per
+// protocol port per sensor host; the loopback form is used by the examples
+// and integration tests.
+//
+// Victim attribution: on a raw deployment the victim is the (spoofed) IP
+// source address of the datagram. Sockets opened with net.ListenUDP cannot
+// observe spoofed source addresses on loopback, so when SpoofHeader is true
+// the first four payload bytes carry the IPv4 victim address (the framing
+// the examples use); otherwise the UDP source address is the victim.
+type Server struct {
+	// Sensor is the reflection policy and measurement log (required).
+	Sensor *Sensor
+	// Proto is the amplification protocol served on this socket.
+	Proto protocols.Protocol
+	// Clock stamps received packets; defaults to time.Now.
+	Clock Clock
+	// SpoofHeader enables the 4-byte victim prefix framing.
+	SpoofHeader bool
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("honeypot: server closed")
+
+// Listen opens a UDP socket on addr (e.g. "127.0.0.1:0") and starts
+// serving in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (netip.AddrPort, error) {
+	if s.Sensor == nil {
+		return netip.AddrPort{}, errors.New("honeypot: Server.Sensor is nil")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("honeypot: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("honeypot: listen %q: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return netip.AddrPort{}, ErrServerClosed
+	}
+	s.conn = conn
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.serve(conn)
+	}()
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort(), nil
+}
+
+// serve loops answering datagrams until the socket closes.
+func (s *Server) serve(conn *net.UDPConn) {
+	clock := s.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		payload := buf[:n]
+		victim := raddr.AddrPort().Addr()
+		if s.SpoofHeader {
+			if n < 4 {
+				continue
+			}
+			v, ok := netip.AddrFromSlice(payload[:4])
+			if !ok {
+				continue
+			}
+			victim = v
+			payload = payload[4:]
+		}
+		body := make([]byte, len(payload))
+		copy(body, payload)
+		if resp := s.Sensor.Receive(clock(), victim, s.Proto, body); resp != nil {
+			// Replies go to the socket peer; under spoofing the real
+			// network would deliver them to the victim.
+			_, _ = conn.WriteToUDP(resp, raddr)
+		}
+	}
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if conn != nil {
+		if err := conn.Close(); err != nil {
+			return err
+		}
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ListenFleet starts one loopback Server per sensor in the fleet, all
+// serving proto with the spoof-header framing, and returns the bound
+// addresses aligned with fleet.Sensors. Callers must Close every returned
+// server.
+func ListenFleet(fleet *Fleet, proto protocols.Protocol, clock Clock) ([]*Server, []netip.AddrPort, error) {
+	var (
+		servers []*Server
+		addrs   []netip.AddrPort
+	)
+	for _, sensor := range fleet.Sensors {
+		srv := &Server{Sensor: sensor, Proto: proto, Clock: clock, SpoofHeader: true}
+		ap, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			for _, s := range servers {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, ap)
+	}
+	return servers, addrs, nil
+}
+
+// SendSpoofed sends one spoof-framed request to a fleet server address:
+// the victim's IPv4 address followed by the protocol payload.
+func SendSpoofed(conn *net.UDPConn, to netip.AddrPort, victim netip.Addr, payload []byte) error {
+	if !victim.Is4() {
+		return fmt.Errorf("honeypot: victim %v is not IPv4", victim)
+	}
+	pkt := append(victim.AsSlice(), payload...)
+	_, err := conn.WriteToUDPAddrPort(pkt, to)
+	return err
+}

@@ -1,0 +1,223 @@
+package honeypot
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"booters/internal/protocols"
+)
+
+// syntheticClock returns a Clock advancing 2 simulated seconds per call.
+func syntheticClock(base time.Time) Clock {
+	var tick int
+	return func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 2 * time.Second)
+	}
+}
+
+func dialUDP(t *testing.T) *net.UDPConn {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestServerReflectsOverLoopback(t *testing.T) {
+	fleet := NewFleet(1, 0)
+	srv := &Server{
+		Sensor:      fleet.Sensors[0],
+		Proto:       protocols.DNS,
+		Clock:       syntheticClock(t0),
+		SpoofHeader: true,
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := dialUDP(t)
+	if err := SendSpoofed(client, addr, victimA, protocols.DNS.Request()); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, _, err := client.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatalf("no reflection received: %v", err)
+	}
+	if _, _, perr := protocols.ParseDNSQuery(buf[:n]); perr == nil {
+		t.Error("reflection parsed as a query; want a response")
+	}
+	if n <= len(protocols.DNS.Request()) {
+		t.Errorf("reflection of %d bytes does not amplify the %d-byte request", n, len(protocols.DNS.Request()))
+	}
+	if got := fleet.Sensors[0].Stats().Received; got != 1 {
+		t.Errorf("sensor logged %d packets, want 1", got)
+	}
+}
+
+func TestServerWithoutSpoofHeaderUsesPeerAddress(t *testing.T) {
+	fleet := NewFleet(1, 0)
+	srv := &Server{Sensor: fleet.Sensors[0], Proto: protocols.QOTD, Clock: syntheticClock(t0)}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := dialUDP(t)
+	if _, err := client.WriteToUDPAddrPort([]byte{'\n'}, addr); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1024)
+	if _, _, err := client.ReadFromUDP(buf); err != nil {
+		t.Fatalf("no QOTD reflection: %v", err)
+	}
+	log := fleet.Sensors[0].DrainLog()
+	if len(log) != 1 {
+		t.Fatalf("log length %d", len(log))
+	}
+	if log[0].Victim != netip.MustParseAddr("127.0.0.1") {
+		t.Errorf("victim = %v, want the socket peer", log[0].Victim)
+	}
+}
+
+func TestServerDropsShortSpoofFrames(t *testing.T) {
+	fleet := NewFleet(1, 0)
+	srv := &Server{Sensor: fleet.Sensors[0], Proto: protocols.DNS, Clock: syntheticClock(t0), SpoofHeader: true}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := dialUDP(t)
+	if _, err := client.WriteToUDPAddrPort([]byte{1, 2}, addr); err != nil {
+		t.Fatal(err)
+	}
+	// Follow with a valid packet to serialize against the serve loop.
+	if err := SendSpoofed(client, addr, victimA, protocols.DNS.Request()); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	if _, _, err := client.ReadFromUDP(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := fleet.Sensors[0].Stats().Received; got != 1 {
+		t.Errorf("short frame was logged: received = %d, want 1", got)
+	}
+}
+
+func TestServerCloseIdempotentAndRejectsListen(t *testing.T) {
+	fleet := NewFleet(1, 0)
+	srv := &Server{Sensor: fleet.Sensors[0], Proto: protocols.NTP}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen after Close should fail")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	srv := &Server{Proto: protocols.NTP}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen without a sensor should fail")
+	}
+	srv2 := &Server{Sensor: NewSensor(0, NewVictimRegistry(0)), Proto: protocols.NTP}
+	if _, err := srv2.Listen("not-an-address"); err == nil {
+		t.Error("Listen with a bad address should fail")
+	}
+}
+
+func TestSendSpoofedRejectsIPv6(t *testing.T) {
+	client := dialUDP(t)
+	v6 := netip.MustParseAddr("2001:db8::1")
+	to := netip.MustParseAddrPort("127.0.0.1:9")
+	if err := SendSpoofed(client, to, v6, []byte{1}); err == nil {
+		t.Error("accepted an IPv6 victim in the 4-byte frame")
+	}
+}
+
+func TestListenFleetEndToEnd(t *testing.T) {
+	fleet := NewFleet(4, time.Hour)
+	servers, addrs, err := ListenFleet(fleet, protocols.LDAP, syntheticClock(t0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	if len(addrs) != 4 {
+		t.Fatalf("addrs = %d", len(addrs))
+	}
+
+	client := dialUDP(t)
+	req := protocols.LDAP.Request()
+	// A 40-packet attack sprayed across the fleet plus a one-probe scan.
+	for i := 0; i < 40; i++ {
+		if err := SendSpoofed(client, addrs[i%4], victimA, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ap := range addrs {
+		if err := SendSpoofed(client, ap, victimB, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for all datagrams to be processed.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var received int
+		for _, s := range fleet.Sensors {
+			received += s.Stats().Received
+		}
+		if received >= 44 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/44 packets processed before deadline", received)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	agg := NewAggregator()
+	for _, p := range fleet.DrainLogs() {
+		if err := agg.Offer(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var attacks, scans int
+	for _, f := range agg.Flush() {
+		switch Classify(f) {
+		case Attack:
+			attacks++
+		case Scan:
+			scans++
+		}
+	}
+	if attacks != 1 || scans != 1 {
+		t.Errorf("attacks=%d scans=%d, want 1 and 1", attacks, scans)
+	}
+	// The rate limiter must have tripped and registered the victim.
+	if fleet.Registry.Len() != 1 {
+		t.Errorf("registry = %d victims, want 1", fleet.Registry.Len())
+	}
+}

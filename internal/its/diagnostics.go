@@ -1,0 +1,190 @@
+package its
+
+import (
+	"fmt"
+	"math"
+
+	"booters/internal/stats"
+	"booters/internal/timeseries"
+)
+
+// ACF returns the sample autocorrelation function of xs at lags 1..maxLag.
+func ACF(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if maxLag < 1 {
+		return nil, fmt.Errorf("its: ACF: maxLag %d < 1", maxLag)
+	}
+	if n <= maxLag {
+		return nil, fmt.Errorf("its: ACF: need more than %d observations, have %d", maxLag, n)
+	}
+	mean := stats.Mean(xs)
+	var denom float64
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return nil, fmt.Errorf("its: ACF: constant series")
+	}
+	out := make([]float64, maxLag)
+	for lag := 1; lag <= maxLag; lag++ {
+		var num float64
+		for i := lag; i < n; i++ {
+			num += (xs[i] - mean) * (xs[i-lag] - mean)
+		}
+		out[lag-1] = num / denom
+	}
+	return out, nil
+}
+
+// LjungBox performs the Ljung-Box portmanteau test for residual
+// autocorrelation up to maxLag, adjusting the degrees of freedom for
+// fittedParams estimated parameters. A small p-value indicates the model
+// has left serial structure in the residuals — the standard adequacy check
+// for interrupted-time-series regressions.
+func LjungBox(resid []float64, maxLag, fittedParams int) (stats.TestResult, error) {
+	acf, err := ACF(resid, maxLag)
+	if err != nil {
+		return stats.TestResult{}, err
+	}
+	n := float64(len(resid))
+	var q float64
+	for k, r := range acf {
+		q += r * r / (n - float64(k+1))
+	}
+	q *= n * (n + 2)
+	df := float64(maxLag - fittedParams)
+	if df < 1 {
+		df = 1
+	}
+	p := stats.ChiSquared{K: df}.SF(q)
+	return stats.TestResult{Stat: q, DF: df, P: p}, nil
+}
+
+// Diagnostics summarises a fitted model's adequacy.
+type Diagnostics struct {
+	// LjungBox tests the Pearson residuals for autocorrelation at lag 8.
+	LjungBox stats.TestResult
+	// ACF holds the residual autocorrelations at lags 1..8.
+	ACF []float64
+	// PearsonDispersion is the Pearson chi-squared statistic divided by
+	// residual degrees of freedom; ~1 for a well-specified model.
+	PearsonDispersion float64
+	// MaxAbsResidual is the largest absolute Pearson residual.
+	MaxAbsResidual float64
+}
+
+// Diagnose computes residual diagnostics for a fitted ITS model.
+func (m *Model) Diagnose() (*Diagnostics, error) {
+	const maxLag = 8
+	resid := m.Fit.PearsonResiduals
+	lb, err := LjungBox(resid, maxLag, 0)
+	if err != nil {
+		return nil, err
+	}
+	acf, err := ACF(resid, maxLag)
+	if err != nil {
+		return nil, err
+	}
+	var chi2, maxAbs float64
+	for _, r := range resid {
+		chi2 += r * r
+		if a := math.Abs(r); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	df := float64(m.Fit.N - m.Fit.P)
+	if df < 1 {
+		df = 1
+	}
+	return &Diagnostics{
+		LjungBox:          lb,
+		ACF:               acf,
+		PearsonDispersion: chi2 / df,
+		MaxAbsResidual:    maxAbs,
+	}, nil
+}
+
+// PlaceboResult is the outcome of a placebo (permutation-style) robustness
+// check on one intervention.
+type PlaceboResult struct {
+	// Observed is the fitted coefficient of the real intervention window.
+	Observed float64
+	// Placebos holds the coefficients obtained by sliding the window to
+	// every feasible counterfeit start week.
+	Placebos []float64
+	// Rank is the number of placebo coefficients at least as negative as
+	// the observed one.
+	Rank int
+	// P is the one-sided permutation p-value (Rank+1)/(len(Placebos)+1).
+	P float64
+}
+
+// PlaceboTest refits the model with the named intervention's window moved
+// to every feasible start week (keeping its duration, skipping starts whose
+// windows would overlap another intervention's true window) and compares
+// the real coefficient against the placebo distribution. A real effect
+// should be more negative than almost all placebos. This is the standard
+// design-based robustness check for interrupted time series.
+func PlaceboTest(s *timeseries.Series, spec ModelSpec, name string) (*PlaceboResult, error) {
+	idx := -1
+	for i, iv := range spec.Interventions {
+		if iv.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("its: PlaceboTest: no intervention named %q", name)
+	}
+	real, err := Fit(s, spec)
+	if err != nil {
+		return nil, err
+	}
+	obs := real.Effects[idx].Coef.Estimate
+	duration := spec.Interventions[idx].Weeks
+
+	// Other interventions' windows are off-limits for placebo placement.
+	blocked := func(start timeseries.Week) bool {
+		for j, iv := range spec.Interventions {
+			if j == idx {
+				continue
+			}
+			for w, k := start, 0; k < duration; w, k = w.Next(), k+1 {
+				if iv.Active(w) {
+					return true
+				}
+			}
+		}
+		// The true window itself is not a placebo.
+		trueStart := spec.Interventions[idx].Window()
+		d := timeseries.WeeksBetween(trueStart, start)
+		return d > -duration && d < duration
+	}
+
+	res := &PlaceboResult{Observed: obs}
+	for i := 0; i+duration <= s.Len(); i++ {
+		start := s.Week(i)
+		if blocked(start) {
+			continue
+		}
+		trial := spec
+		trial.Interventions = append([]Intervention(nil), spec.Interventions...)
+		trial.Interventions[idx] = Intervention{Name: name, Start: start.Start, Weeks: duration}
+		m, err := Fit(s, trial)
+		if err != nil {
+			continue
+		}
+		res.Placebos = append(res.Placebos, m.Effects[idx].Coef.Estimate)
+	}
+	if len(res.Placebos) == 0 {
+		return nil, fmt.Errorf("its: PlaceboTest: no feasible placebo windows")
+	}
+	for _, p := range res.Placebos {
+		if p <= obs {
+			res.Rank++
+		}
+	}
+	res.P = float64(res.Rank+1) / float64(len(res.Placebos)+1)
+	return res, nil
+}

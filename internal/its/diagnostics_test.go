@@ -1,0 +1,176 @@
+package its
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestACFWhiteNoiseNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf, err := ACF(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag, r := range acf {
+		if math.Abs(r) > 0.06 {
+			t.Errorf("lag %d: acf = %.3f, want ~0 for white noise", lag+1, r)
+		}
+	}
+}
+
+func TestACFAR1Positive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	xs := make([]float64, 2000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.7*xs[i-1] + rng.NormFloat64()
+	}
+	acf, err := ACF(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[0] < 0.6 || acf[0] > 0.8 {
+		t.Errorf("lag-1 acf = %.3f, want ~0.7", acf[0])
+	}
+	if acf[1] >= acf[0] {
+		t.Error("AR(1) acf should decay")
+	}
+}
+
+func TestACFValidation(t *testing.T) {
+	if _, err := ACF([]float64{1, 2}, 5); err == nil {
+		t.Error("accepted series shorter than maxLag")
+	}
+	if _, err := ACF(make([]float64, 10), 3); err == nil {
+		t.Error("accepted constant series")
+	}
+	if _, err := ACF([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("accepted maxLag 0")
+	}
+}
+
+func TestLjungBoxDistinguishesNoiseFromAR(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	noise := make([]float64, 300)
+	ar := make([]float64, 300)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+		if i > 0 {
+			ar[i] = 0.6*ar[i-1] + rng.NormFloat64()
+		}
+	}
+	lbNoise, err := LjungBox(noise, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbAR, err := LjungBox(ar, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lbNoise.Significant(0.01) {
+		t.Errorf("Ljung-Box rejected white noise: p = %.4f", lbNoise.P)
+	}
+	if !lbAR.Significant(0.01) {
+		t.Errorf("Ljung-Box failed to reject AR(1): p = %.4f", lbAR.P)
+	}
+}
+
+func TestDiagnoseWellSpecifiedModel(t *testing.T) {
+	s := synthSeries(150, -30, 60, 8, 40)
+	iv := Intervention{Name: "shock", Start: s.Week(60).Start, Weeks: 8}
+	m, err := Fit(s, DefaultSpec([]Intervention{iv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Diagnose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A correctly specified model on independent noise: no residual
+	// autocorrelation, dispersion near 1.
+	if d.LjungBox.Significant(0.01) {
+		t.Errorf("Ljung-Box p = %.4f on a well-specified model", d.LjungBox.P)
+	}
+	if d.PearsonDispersion < 0.5 || d.PearsonDispersion > 1.6 {
+		t.Errorf("Pearson dispersion = %.2f, want ~1", d.PearsonDispersion)
+	}
+	if len(d.ACF) != 8 {
+		t.Errorf("ACF lags = %d", len(d.ACF))
+	}
+	if d.MaxAbsResidual <= 0 {
+		t.Error("MaxAbsResidual should be positive")
+	}
+}
+
+func TestPlaceboTestRealEffectExtreme(t *testing.T) {
+	s := synthSeries(150, -40, 60, 6, 41)
+	iv := Intervention{Name: "shock", Start: s.Week(60).Start, Weeks: 6}
+	res, err := PlaceboTest(s, DefaultSpec([]Intervention{iv}), "shock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placebos) < 50 {
+		t.Fatalf("only %d placebo windows", len(res.Placebos))
+	}
+	if res.Observed >= 0 {
+		t.Errorf("observed coefficient %.3f should be negative", res.Observed)
+	}
+	// The true window must be more extreme than nearly every placebo.
+	if res.P > 0.05 {
+		t.Errorf("placebo p = %.3f (rank %d of %d), want < 0.05", res.P, res.Rank, len(res.Placebos))
+	}
+}
+
+func TestPlaceboTestNullEffectUnremarkable(t *testing.T) {
+	s := synthSeries(150, 0, 0, 0, 42)
+	iv := Intervention{Name: "placebo", Start: s.Week(60).Start, Weeks: 6}
+	res, err := PlaceboTest(s, DefaultSpec([]Intervention{iv}), "placebo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.02 {
+		t.Errorf("null effect ranked extreme: p = %.3f", res.P)
+	}
+}
+
+func TestPlaceboTestValidation(t *testing.T) {
+	s := synthSeries(150, -30, 60, 6, 43)
+	iv := Intervention{Name: "shock", Start: s.Week(60).Start, Weeks: 6}
+	if _, err := PlaceboTest(s, DefaultSpec([]Intervention{iv}), "missing"); err == nil {
+		t.Error("accepted unknown intervention name")
+	}
+}
+
+func TestLjungBoxDFAdjustment(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	full, err := LjungBox(xs, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := LjungBox(xs, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.DF != 8 || adj.DF != 5 {
+		t.Errorf("df = %v and %v, want 8 and 5", full.DF, adj.DF)
+	}
+	if full.Stat != adj.Stat {
+		t.Error("statistic should not depend on df adjustment")
+	}
+	// Clamped at 1.
+	clamped, err := LjungBox(xs, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.DF != 1 {
+		t.Errorf("clamped df = %v, want 1", clamped.DF)
+	}
+}

@@ -1,0 +1,278 @@
+package its
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"booters/internal/glm"
+	"booters/internal/stats"
+	"booters/internal/timeseries"
+)
+
+func d(y int, m time.Month, day int) time.Time {
+	return time.Date(y, m, day, 0, 0, 0, 0, time.UTC)
+}
+
+// synthSeries builds a weekly NB series with trend, seasonality and one
+// planted intervention drop.
+func synthSeries(weeks int, drop float64, dropStart, dropLen int, seed int64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	start := timeseries.WeekOf(d(2016, time.June, 6))
+	s := timeseries.NewSeries(start, weeks)
+	for i := 0; i < weeks; i++ {
+		mu := 50000 * math.Exp(0.008*float64(i))
+		w := s.Week(i)
+		if w.Month() == time.December {
+			mu *= 1.1
+		}
+		if i >= dropStart && i < dropStart+dropLen {
+			mu *= 1 + drop/100
+		}
+		s.Values[i] = float64(stats.NegBinomial{Mu: mu, Alpha: 0.002}.Rand(rng))
+	}
+	return s
+}
+
+func TestInterventionWindow(t *testing.T) {
+	iv := Intervention{Name: "X", Start: d(2018, time.December, 19), Weeks: 3}
+	w0 := timeseries.WeekOf(iv.Start)
+	if !iv.Active(w0) {
+		t.Error("intervention should be active in its start week")
+	}
+	if !iv.Active(w0.Next().Next()) {
+		t.Error("intervention should be active in week 2")
+	}
+	w3 := w0.Next().Next().Next()
+	if iv.Active(w3) {
+		t.Error("intervention should be inactive after Weeks weeks")
+	}
+	before := timeseries.Week{Start: w0.Start.AddDate(0, 0, -7)}
+	if iv.Active(before) {
+		t.Error("intervention should be inactive before start")
+	}
+	// Lag shifts the window.
+	lagged := Intervention{Name: "X", Start: d(2018, time.December, 19), Weeks: 3, LagWeeks: 2}
+	if lagged.Active(w0) {
+		t.Error("lagged intervention should not be active at event week")
+	}
+	if !lagged.Active(w0.Next().Next()) {
+		t.Error("lagged intervention should be active after lag")
+	}
+}
+
+func TestDesignShape(t *testing.T) {
+	s := synthSeries(100, 0, 0, 0, 1)
+	ivs := []Intervention{
+		{Name: "A", Start: d(2017, time.January, 4), Weeks: 4},
+		{Name: "B", Start: d(2017, time.June, 7), Weeks: 2},
+	}
+	x, names := Design(s, DefaultSpec(ivs))
+	n, p := x.Dims()
+	if n != 100 {
+		t.Errorf("rows = %d", n)
+	}
+	// 2 interventions + Easter + 11 seasonals + time + cons = 16.
+	if p != 16 || len(names) != 16 {
+		t.Errorf("cols = %d, names = %d", p, len(names))
+	}
+	if names[0] != "A" || names[2] != "Easter" || names[p-2] != "time" || names[p-1] != "_cons" {
+		t.Errorf("names = %v", names)
+	}
+	// Intervention columns sum to their durations.
+	var sumA, sumB float64
+	for i := 0; i < n; i++ {
+		sumA += x.At(i, 0)
+		sumB += x.At(i, 1)
+	}
+	if sumA != 4 || sumB != 2 {
+		t.Errorf("dummy sums = %v, %v; want 4, 2", sumA, sumB)
+	}
+}
+
+func TestFitRecoversPlantedDrop(t *testing.T) {
+	const planted = -30.0
+	s := synthSeries(150, planted, 60, 8, 2)
+	iv := Intervention{Name: "shock", Start: s.Week(60).Start, Weeks: 8}
+	m, err := Fit(s, DefaultSpec([]Intervention{iv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := m.Effects[0]
+	if !eff.Significant() {
+		t.Errorf("planted drop not significant: p = %g", eff.P)
+	}
+	if math.Abs(eff.Mean-planted) > 5 {
+		t.Errorf("recovered effect %.1f%%, want ~%.0f%%", eff.Mean, planted)
+	}
+	if eff.Lower95 > planted || eff.Upper95 < planted {
+		t.Errorf("CI [%.1f, %.1f] misses truth %.0f", eff.Lower95, eff.Upper95, planted)
+	}
+	// Trend should be recovered too.
+	tc, err := m.Fit.Coef("time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tc.Estimate-0.008) > 0.001 {
+		t.Errorf("trend = %.5f, want ~0.008", tc.Estimate)
+	}
+}
+
+func TestFitNoFalsePositive(t *testing.T) {
+	// No planted drop: a random window's effect should be insignificant.
+	s := synthSeries(150, 0, 0, 0, 3)
+	iv := Intervention{Name: "placebo", Start: s.Week(70).Start, Weeks: 5}
+	m, err := Fit(s, DefaultSpec([]Intervention{iv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Effects[0].StronglySignificant() {
+		t.Errorf("placebo effect strongly significant: p = %g, mean = %.1f%%", m.Effects[0].P, m.Effects[0].Mean)
+	}
+}
+
+func TestCounterfactualAboveObservedInWindow(t *testing.T) {
+	s := synthSeries(150, -40, 60, 8, 4)
+	iv := Intervention{Name: "shock", Start: s.Week(60).Start, Weeks: 8}
+	m, err := Fit(s, DefaultSpec([]Intervention{iv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := m.CounterfactualSeries()
+	fit := m.FittedSeries()
+	for i := 60; i < 68; i++ {
+		if cf.Values[i] <= fit.Values[i] {
+			t.Errorf("week %d: counterfactual %.0f <= fitted %.0f inside window", i, cf.Values[i], fit.Values[i])
+		}
+	}
+	// Outside the window the two coincide.
+	for _, i := range []int{10, 50, 100, 140} {
+		if math.Abs(cf.Values[i]-fit.Values[i]) > 1e-6*fit.Values[i] {
+			t.Errorf("week %d: counterfactual %.2f != fitted %.2f outside window", i, cf.Values[i], fit.Values[i])
+		}
+	}
+}
+
+func TestSearchDurationFindsPlantedLength(t *testing.T) {
+	const plantedLen = 9
+	s := synthSeries(150, -35, 55, plantedLen, 5)
+	iv := Intervention{Name: "shock", Start: s.Week(55).Start, Weeks: 2}
+	spec := DefaultSpec([]Intervention{iv})
+	best, m, err := SearchDuration(s, spec, "shock", 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < plantedLen-2 || best > plantedLen+2 {
+		t.Errorf("best duration = %d, want ~%d", best, plantedLen)
+	}
+	if m == nil || len(m.Effects) != 1 {
+		t.Fatal("missing best model")
+	}
+	if _, _, err := SearchDuration(s, spec, "nope", 2, 4); err == nil {
+		t.Error("SearchDuration accepted unknown intervention")
+	}
+	if _, _, err := SearchDuration(s, spec, "shock", 5, 2); err == nil {
+		t.Error("SearchDuration accepted inverted range")
+	}
+}
+
+func TestDetectDropsFindsPlantedWindow(t *testing.T) {
+	s := synthSeries(150, -40, 60, 8, 6)
+	cands, err := DetectDrops(s, glm.NegativeBinomial, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no drop candidates detected")
+	}
+	found := false
+	target := s.Week(60)
+	for _, c := range cands {
+		lag := timeseries.WeeksBetween(target, c.Start)
+		if lag >= -2 && lag <= 3 {
+			found = true
+			if c.MeanResidual >= 0 {
+				t.Errorf("drop candidate has non-negative residual %v", c.MeanResidual)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no candidate near week 60; got %+v", cands)
+	}
+}
+
+func TestMatchCandidates(t *testing.T) {
+	s := synthSeries(150, -40, 60, 8, 7)
+	cands := []Candidate{
+		{Start: s.Week(60), Weeks: 8},
+		{Start: s.Week(20), Weeks: 3},
+	}
+	events := []Intervention{
+		{Name: "ev1", Start: s.Week(59).Start}, // one week before first candidate
+		{Name: "ev2", Start: s.Week(100).Start},
+	}
+	got := MatchCandidates(cands, events, 3)
+	if got[0] != 0 {
+		t.Errorf("candidate 0 matched %d, want 0", got[0])
+	}
+	if got[1] != -1 {
+		t.Errorf("candidate 1 matched %d, want -1", got[1])
+	}
+	// An event falling inside the candidate window also matches.
+	events2 := []Intervention{{Name: "mid", Start: s.Week(62).Start}}
+	got2 := MatchCandidates(cands[:1], events2, 2)
+	if got2[0] != 0 {
+		t.Errorf("mid-window event not matched: %d", got2[0])
+	}
+}
+
+func TestFitShortSeriesError(t *testing.T) {
+	s := synthSeries(10, 0, 0, 0, 8)
+	if _, err := Fit(s, DefaultSpec(nil)); err == nil {
+		t.Error("Fit accepted a 10-week series")
+	}
+}
+
+func TestEffectLookup(t *testing.T) {
+	s := synthSeries(150, -30, 60, 8, 9)
+	iv := Intervention{Name: "shock", Start: s.Week(60).Start, Weeks: 8}
+	m, err := Fit(s, DefaultSpec([]Intervention{iv}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Effect("shock"); err != nil {
+		t.Errorf("Effect(shock): %v", err)
+	}
+	if _, err := m.Effect("missing"); err == nil {
+		t.Error("Effect(missing) should fail")
+	}
+}
+
+func TestPoissonVsNBSpecAblation(t *testing.T) {
+	// On overdispersed data the NB spec should fit better (higher loglik
+	// accounting for dispersion) — the reason the paper chose NB.
+	s := synthSeries(150, -30, 60, 8, 10)
+	iv := []Intervention{{Name: "shock", Start: s.Week(60).Start, Weeks: 8}}
+	specNB := DefaultSpec(iv)
+	specP := specNB
+	specP.Family = glm.Poisson
+	mNB, err := Fit(s, specNB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mP, err := Fit(s, specP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mNB.Fit.LogLik <= mP.Fit.LogLik {
+		t.Errorf("NB loglik %.1f should beat Poisson %.1f", mNB.Fit.LogLik, mP.Fit.LogLik)
+	}
+	// Poisson SEs on heavily overdispersed weekly counts are absurdly
+	// small; NB inflates them to honest levels.
+	cNB := mNB.Effects[0].Coef.SE
+	cP := mP.Effects[0].Coef.SE
+	if cNB <= cP {
+		t.Errorf("NB SE %.5f should exceed Poisson SE %.5f", cNB, cP)
+	}
+}

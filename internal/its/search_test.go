@@ -1,0 +1,112 @@
+package its
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"booters/internal/stats"
+	"booters/internal/timeseries"
+)
+
+// synthTwoDrops builds a series with two planted drops of known durations.
+func synthTwoDrops(weeks int, seed int64, aStart, aLen int, aDrop float64, bStart, bLen int, bDrop float64) *timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	start := timeseries.WeekOf(time.Date(2016, time.June, 6, 0, 0, 0, 0, time.UTC))
+	s := timeseries.NewSeries(start, weeks)
+	for i := 0; i < weeks; i++ {
+		mu := 50000 * math.Exp(0.008*float64(i))
+		if i >= aStart && i < aStart+aLen {
+			mu *= 1 + aDrop/100
+		}
+		if i >= bStart && i < bStart+bLen {
+			mu *= 1 + bDrop/100
+		}
+		s.Values[i] = float64(stats.NegBinomial{Mu: mu, Alpha: 0.002}.Rand(rng))
+	}
+	return s
+}
+
+func TestSearchAllDurationsRecoversBothWindows(t *testing.T) {
+	const (
+		aStart, aLen = 40, 7
+		bStart, bLen = 90, 4
+	)
+	s := synthTwoDrops(150, 50, aStart, aLen, -35, bStart, bLen, -25)
+	spec := DefaultSpec([]Intervention{
+		{Name: "A", Start: s.Week(aStart).Start, Weeks: 5}, // wrong initial durations
+		{Name: "B", Start: s.Week(bStart).Start, Weeks: 6},
+	})
+	m, err := SearchAllDurations(s, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effA, err := m.Effect("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	effB, err := m.Effect("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effA.Weeks < aLen-1 || effA.Weeks > aLen+1 {
+		t.Errorf("A duration = %d, want ~%d", effA.Weeks, aLen)
+	}
+	if effB.Weeks < bLen-1 || effB.Weeks > bLen+1 {
+		t.Errorf("B duration = %d, want ~%d", effB.Weeks, bLen)
+	}
+	if math.Abs(effA.Mean-(-35)) > 6 {
+		t.Errorf("A effect = %.1f%%, want ~-35%%", effA.Mean)
+	}
+	if math.Abs(effB.Mean-(-25)) > 6 {
+		t.Errorf("B effect = %.1f%%, want ~-25%%", effB.Mean)
+	}
+}
+
+func TestSearchAllDurationsRespectsNonOverlapCap(t *testing.T) {
+	// Two adjacent drops 6 weeks apart: the first window must be capped at
+	// the gap even when its planted length is longer.
+	const (
+		aStart = 60
+		bStart = 66
+	)
+	s := synthTwoDrops(150, 51, aStart, 10, -40, bStart, 5, -20)
+	spec := DefaultSpec([]Intervention{
+		{Name: "A", Start: s.Week(aStart).Start, Weeks: 8},
+		{Name: "B", Start: s.Week(bStart).Start, Weeks: 5},
+	})
+	m, err := SearchAllDurations(s, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effA, _ := m.Effect("A")
+	if effA.Weeks > 6 {
+		t.Errorf("A duration = %d, must not overlap B's window (cap 6)", effA.Weeks)
+	}
+}
+
+func TestSearchAllDurationsValidation(t *testing.T) {
+	s := synthTwoDrops(100, 52, 40, 5, -30, 70, 4, -20)
+	spec := DefaultSpec([]Intervention{{Name: "A", Start: s.Week(40).Start, Weeks: 5}})
+	if _, err := SearchAllDurations(s, spec, -1); err == nil {
+		t.Error("accepted negative radius")
+	}
+	// Radius 0 degenerates to a plain fit with the given durations.
+	m, err := SearchAllDurations(s, spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effA, _ := m.Effect("A")
+	if effA.Weeks != 5 {
+		t.Errorf("radius-0 duration = %d, want the initial 5", effA.Weeks)
+	}
+	// No interventions at all: still fits the baseline model.
+	m2, err := SearchAllDurations(s, DefaultSpec(nil), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Effects) != 0 {
+		t.Errorf("baseline model has %d effects", len(m2.Effects))
+	}
+}

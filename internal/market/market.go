@@ -1,0 +1,404 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Shock is a supply-side event applied to the market in a given week.
+type Shock struct {
+	// Week is the simulation week index the shock lands in.
+	Week int
+	// KillLargest takes down the N largest alive providers (domain
+	// seizures + operator arrests make these permanent).
+	KillLargest int
+	// KillFraction additionally takes down this fraction of the remaining
+	// alive small and medium providers (smaller services swept up in the
+	// same operation); large survivors are untouched, matching the paper's
+	// observation that the remaining major player kept serving. These
+	// deaths are non-permanent.
+	KillFraction float64
+	// KillSubcontractorsOf takes down every provider whose attacks were
+	// subcontracted to a provider killed by this shock.
+	KillSubcontractorsOf bool
+	// EntrySuppression multiplies the new-provider entry rate for
+	// EntryWeeks weeks (market closures remove shop-fronts).
+	EntrySuppression float64
+	// EntryWeeks is the duration of the entry suppression.
+	EntryWeeks int
+	// Permanent marks KillLargest victims as never resurrecting.
+	Permanent bool
+	// ResurrectAfter, if > 0, schedules the largest victim of the shock to
+	// return under a similar name after that many weeks ("one of the
+	// booters taken down in December returns" in March).
+	ResurrectAfter int
+}
+
+// Config parameterises the market simulation.
+type Config struct {
+	// Weeks is the simulation length.
+	Weeks int
+	// Seed drives all randomness; the same seed reproduces the same
+	// market exactly.
+	Seed int64
+	// InitialLarge, InitialMedium, InitialSmall set the starting market
+	// structure.
+	InitialLarge, InitialMedium, InitialSmall int
+	// WeeklyEntryRate is the expected number of new (small) providers per
+	// week before suppression.
+	WeeklyEntryRate float64
+	// DemandLossOnUnserved is the fraction of demand that is abandoned
+	// (rather than displaced to other providers) when a provider cannot
+	// serve it.
+	DemandLossOnUnserved float64
+	// Shocks are the supply-side intervention events.
+	Shocks []Shock
+}
+
+// DefaultConfig returns the structure the paper describes entering 2018:
+// four large providers (Webstresser plus the three major players that
+// remain after its takedown), a mid-tier, and a long tail of small
+// services.
+func DefaultConfig(weeks int, seed int64) Config {
+	return Config{
+		Weeks:                weeks,
+		Seed:                 seed,
+		InitialLarge:         4,
+		InitialMedium:        12,
+		InitialSmall:         60,
+		WeeklyEntryRate:      0.9,
+		DemandLossOnUnserved: 0.5,
+	}
+}
+
+// WeekRecord captures the market state after one simulated week.
+type WeekRecord struct {
+	// Week is the simulation week index.
+	Week int
+	// Demand is the total demand offered to the market.
+	Demand float64
+	// Served is the total attacks actually performed.
+	Served float64
+	// Unserved is demand that found no working provider.
+	Unserved float64
+	// ServedByProvider maps provider ID to attacks served this week.
+	ServedByProvider map[int]float64
+	// AliveProviders is the number of providers up this week.
+	AliveProviders int
+	// Births, Deaths, Resurrections count lifecycle events this week
+	// (Figure 8's series).
+	Births, Deaths, Resurrections int
+	// Wipes counts counter-wipe events this week.
+	Wipes int
+}
+
+// Simulation is a running booter-market model. Create with New, then call
+// Step once per week with that week's demand.
+type Simulation struct {
+	cfg       Config
+	rng       *rand.Rand
+	providers []*Provider
+	week      int
+	records   []WeekRecord
+
+	entrySuppressedUntil int
+	entrySuppression     float64
+	pendingResurrect     map[int]int // week -> provider ID
+}
+
+// New builds the initial market.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Weeks <= 0 {
+		return nil, fmt.Errorf("market: config.Weeks must be positive, got %d", cfg.Weeks)
+	}
+	if cfg.DemandLossOnUnserved < 0 || cfg.DemandLossOnUnserved > 1 {
+		return nil, fmt.Errorf("market: DemandLossOnUnserved %v outside [0,1]", cfg.DemandLossOnUnserved)
+	}
+	s := &Simulation{
+		cfg:              cfg,
+		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		pendingResurrect: make(map[int]int),
+	}
+	id := 0
+	add := func(n int, class SizeClass) {
+		for i := 0; i < n; i++ {
+			s.providers = append(s.providers, newProvider(id, 0, class, s.rng))
+			id++
+		}
+	}
+	add(cfg.InitialLarge, Large)
+	add(cfg.InitialMedium, Medium)
+	add(cfg.InitialSmall, Small)
+	// Exactly one mid-size provider reports only multiples of 1000 (the
+	// one the paper excludes).
+	for _, p := range s.providers {
+		if p.Class == Medium {
+			p.Counter = Rounded
+			break
+		}
+	}
+	// A slice of the small and mid tier subcontracts its attacks to the
+	// largest provider (Webstresser-style reselling: "Webstresser may have
+	// been providing the actual attack infrastructure and other booters
+	// were merely a shop-front"). Its takedown later kills them too.
+	if cfg.InitialLarge > 0 {
+		big := s.largestAlive()
+		count := 0
+		for _, p := range s.providers {
+			if p.Class != Large && s.rng.Float64() < 0.3 {
+				p.Subcontractor = big.ID
+				count++
+				if count >= 18 {
+					break
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Providers returns the full provider list (including dead ones).
+func (s *Simulation) Providers() []*Provider { return s.providers }
+
+// Week returns the number of weeks simulated so far.
+func (s *Simulation) Week() int { return s.week }
+
+// Records returns the per-week records accumulated so far.
+func (s *Simulation) Records() []WeekRecord { return s.records }
+
+// largestAlive returns the alive provider with the biggest capacity, or nil.
+func (s *Simulation) largestAlive() *Provider {
+	var best *Provider
+	for _, p := range s.providers {
+		if p.Alive && (best == nil || p.Capacity > best.Capacity) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Step advances the simulation one week with the given offered demand
+// (total attacks users want to buy this week) and returns the week record.
+func (s *Simulation) Step(demand float64) (WeekRecord, error) {
+	if s.week >= s.cfg.Weeks {
+		return WeekRecord{}, fmt.Errorf("market: simulation already ran its configured %d weeks", s.cfg.Weeks)
+	}
+	rec := WeekRecord{Week: s.week, Demand: demand, ServedByProvider: make(map[int]float64)}
+
+	// 1. Scheduled resurrections from shocks.
+	if id, ok := s.pendingResurrect[s.week]; ok {
+		for _, p := range s.providers {
+			if p.ID == id && !p.Alive {
+				p.Alive = true
+				p.PermanentlyDead = false
+				rec.Resurrections++
+			}
+		}
+		delete(s.pendingResurrect, s.week)
+	}
+
+	// 2. Apply supply shocks scheduled for this week.
+	for _, shock := range s.cfg.Shocks {
+		if shock.Week != s.week {
+			continue
+		}
+		s.applyShock(shock, &rec)
+	}
+
+	// 3. Random churn: outages, recoveries, entries.
+	for _, p := range s.providers {
+		switch {
+		case p.Alive && s.rng.Float64() < p.OutageRate:
+			p.Alive = false
+			p.DiedWeek = s.week
+			rec.Deaths++
+		case !p.Alive && !p.PermanentlyDead && s.rng.Float64() < p.ResurrectionRate:
+			p.Alive = true
+			rec.Resurrections++
+		}
+	}
+	entry := s.cfg.WeeklyEntryRate
+	if s.week < s.entrySuppressedUntil {
+		entry *= s.entrySuppression
+	}
+	for n := poissonDraw(entry, s.rng); n > 0; n-- {
+		class := Small
+		if s.rng.Float64() < 0.12 {
+			class = Medium
+		}
+		p := newProvider(len(s.providers), s.week, class, s.rng)
+		s.providers = append(s.providers, p)
+		rec.Births++
+	}
+
+	// 4. Allocate demand to alive providers proportional to attractiveness
+	// with capacity caps; displaced demand re-allocates once, losing
+	// DemandLossOnUnserved on the way ("the influx of users can overwhelm
+	// them").
+	remaining := demand
+	for round := 0; round < 2 && remaining > 1e-9; round++ {
+		var totalAttr float64
+		for _, p := range s.providers {
+			if p.Alive && s.headroom(p, rec.ServedByProvider) > 0 {
+				totalAttr += p.Attractiveness
+			}
+		}
+		if totalAttr == 0 {
+			break
+		}
+		var displaced float64
+		for _, p := range s.providers {
+			if !p.Alive {
+				continue
+			}
+			head := s.headroom(p, rec.ServedByProvider)
+			if head <= 0 {
+				continue
+			}
+			want := remaining * p.Attractiveness / totalAttr
+			got := want
+			if got > head {
+				displaced += want - head
+				got = head
+			}
+			rec.ServedByProvider[p.ID] += got
+		}
+		if round == 0 {
+			remaining = displaced * (1 - s.cfg.DemandLossOnUnserved)
+			rec.Unserved += displaced * s.cfg.DemandLossOnUnserved
+		} else {
+			rec.Unserved += displaced
+			remaining = 0
+		}
+	}
+
+	// 5. Book the served attacks, roll counter wipes. Iterate providers in
+	// ID order so the floating-point total is deterministic for a given
+	// seed (map iteration order is randomized).
+	for _, p := range s.providers {
+		n, ok := rec.ServedByProvider[p.ID]
+		if !ok {
+			continue
+		}
+		// Subcontracted providers pass the work to their backend but still
+		// count it on their own public counter.
+		p.serve(n)
+		rec.Served += n
+	}
+	for _, p := range s.providers {
+		if p.Alive && p.maybeWipe(s.rng) {
+			rec.Wipes++
+		}
+	}
+	for _, p := range s.providers {
+		if p.Alive {
+			rec.AliveProviders++
+		}
+	}
+
+	s.records = append(s.records, rec)
+	s.week++
+	return rec, nil
+}
+
+// headroom returns the provider's remaining weekly capacity.
+func (s *Simulation) headroom(p *Provider, served map[int]float64) float64 {
+	return p.Capacity - served[p.ID]
+}
+
+// applyShock executes one supply shock.
+func (s *Simulation) applyShock(shock Shock, rec *WeekRecord) {
+	alive := make([]*Provider, 0, len(s.providers))
+	for _, p := range s.providers {
+		if p.Alive {
+			alive = append(alive, p)
+		}
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i].Capacity > alive[j].Capacity })
+
+	killed := make(map[int]bool)
+	kill := func(p *Provider, permanent bool) {
+		if !p.Alive {
+			return
+		}
+		p.Alive = false
+		p.DiedWeek = s.week
+		p.PermanentlyDead = p.PermanentlyDead || permanent
+		killed[p.ID] = true
+		rec.Deaths++
+	}
+	for i := 0; i < shock.KillLargest && i < len(alive); i++ {
+		kill(alive[i], shock.Permanent)
+		if i == 0 && shock.ResurrectAfter > 0 {
+			s.pendingResurrect[s.week+shock.ResurrectAfter] = alive[i].ID
+		}
+	}
+	if shock.KillFraction > 0 {
+		for _, p := range alive {
+			if !p.Alive || killed[p.ID] || p.Class == Large {
+				continue
+			}
+			if s.rng.Float64() < shock.KillFraction {
+				kill(p, false)
+			}
+		}
+	}
+	if shock.KillSubcontractorsOf {
+		for _, p := range s.providers {
+			if p.Alive && p.Subcontractor >= 0 && killed[p.Subcontractor] {
+				kill(p, false)
+			}
+		}
+	}
+	if shock.EntrySuppression > 0 && shock.EntryWeeks > 0 {
+		s.entrySuppressedUntil = s.week + shock.EntryWeeks
+		s.entrySuppression = shock.EntrySuppression
+	}
+}
+
+// TopShare returns the served-attack share of the largest provider over the
+// given week range [from, to), e.g. to verify the post-Xmas2018 structure
+// where "the remaining one maintain[s] a substantial share (about 60%)".
+func (s *Simulation) TopShare(from, to int) float64 {
+	totals := make(map[int]float64)
+	var all float64
+	for _, rec := range s.records {
+		if rec.Week < from || rec.Week >= to {
+			continue
+		}
+		for id, n := range rec.ServedByProvider {
+			totals[id] += n
+			all += n
+		}
+	}
+	var best float64
+	for _, n := range totals {
+		if n > best {
+			best = n
+		}
+	}
+	if all == 0 {
+		return 0
+	}
+	return best / all
+}
+
+// poissonDraw draws a Poisson variate with the given mean using Knuth's
+// method (means here are small).
+func poissonDraw(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := -mean
+	k := 0
+	p := 0.0
+	for {
+		p += math.Log(rng.Float64())
+		if p < l {
+			return k
+		}
+		k++
+	}
+}

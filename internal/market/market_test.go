@@ -1,0 +1,309 @@
+package market
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newSim(t *testing.T, cfg Config) *Simulation {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Weeks: 0}); err == nil {
+		t.Error("accepted zero weeks")
+	}
+	cfg := DefaultConfig(10, 1)
+	cfg.DemandLossOnUnserved = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted loss fraction > 1")
+	}
+}
+
+func TestInitialMarketStructure(t *testing.T) {
+	s := newSim(t, DefaultConfig(10, 1))
+	var large, medium, small, rounded int
+	for _, p := range s.Providers() {
+		switch p.Class {
+		case Large:
+			large++
+		case Medium:
+			medium++
+		case Small:
+			small++
+		}
+		if p.Counter == Rounded {
+			rounded++
+		}
+		if !p.Alive {
+			t.Errorf("provider %d starts dead", p.ID)
+		}
+	}
+	if large != 4 || medium != 12 || small != 60 {
+		t.Errorf("structure = %d/%d/%d larges/mediums/smalls", large, medium, small)
+	}
+	if rounded != 1 {
+		t.Errorf("rounded counters = %d, want exactly 1 (the excluded booter)", rounded)
+	}
+}
+
+func TestServedNeverExceedsDemandOrCapacity(t *testing.T) {
+	s := newSim(t, DefaultConfig(52, 2))
+	for w := 0; w < 52; w++ {
+		rec, err := s.Step(80000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Served > rec.Demand+1e-6 {
+			t.Fatalf("week %d: served %.0f > demand %.0f", w, rec.Served, rec.Demand)
+		}
+		for id, n := range rec.ServedByProvider {
+			p := s.Providers()[id]
+			if n > p.Capacity+1e-6 {
+				t.Fatalf("week %d: provider %d served %.0f > capacity %.0f", w, id, n, p.Capacity)
+			}
+		}
+	}
+}
+
+func TestStepBeyondConfiguredWeeksFails(t *testing.T) {
+	s := newSim(t, DefaultConfig(2, 3))
+	for i := 0; i < 2; i++ {
+		if _, err := s.Step(1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Step(1000); err == nil {
+		t.Error("Step beyond Weeks should fail")
+	}
+}
+
+func TestShockKillsLargestPermanently(t *testing.T) {
+	cfg := DefaultConfig(20, 4)
+	cfg.Shocks = []Shock{{Week: 5, KillLargest: 2, Permanent: true}}
+	s := newSim(t, cfg)
+	var biggest, second *Provider
+	for _, p := range s.Providers() {
+		if biggest == nil || p.Capacity > biggest.Capacity {
+			second = biggest
+			biggest = p
+		} else if second == nil || p.Capacity > second.Capacity {
+			second = p
+		}
+	}
+	for w := 0; w < 20; w++ {
+		if _, err := s.Step(50000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if biggest.Alive || !biggest.PermanentlyDead {
+		t.Error("biggest provider should be permanently dead")
+	}
+	if second.Alive || !second.PermanentlyDead {
+		t.Error("second provider should be permanently dead")
+	}
+}
+
+func TestShockResurrectionSchedule(t *testing.T) {
+	cfg := DefaultConfig(30, 5)
+	cfg.Shocks = []Shock{{Week: 5, KillLargest: 1, Permanent: true, ResurrectAfter: 10}}
+	s := newSim(t, cfg)
+	var biggest *Provider
+	for _, p := range s.Providers() {
+		if biggest == nil || p.Capacity > biggest.Capacity {
+			biggest = p
+		}
+	}
+	aliveAt := make([]bool, 30)
+	for w := 0; w < 30; w++ {
+		if _, err := s.Step(50000); err != nil {
+			t.Fatal(err)
+		}
+		aliveAt[w] = biggest.Alive
+	}
+	if aliveAt[5] || aliveAt[10] {
+		t.Error("biggest provider should be down after the shock")
+	}
+	if !aliveAt[15] {
+		t.Error("biggest provider should have returned at week 15")
+	}
+}
+
+func TestSubcontractorsDieWithBackend(t *testing.T) {
+	cfg := DefaultConfig(10, 6)
+	cfg.Shocks = []Shock{{Week: 2, KillLargest: 1, KillSubcontractorsOf: true, Permanent: true}}
+	s := newSim(t, cfg)
+	// Find the subcontractors wired to the initial largest.
+	var subs []*Provider
+	for _, p := range s.Providers() {
+		if p.Subcontractor >= 0 {
+			subs = append(subs, p)
+		}
+	}
+	if len(subs) == 0 {
+		t.Skip("no subcontractors drawn for this seed")
+	}
+	for w := 0; w < 4; w++ {
+		if _, err := s.Step(50000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backend := s.Providers()[subs[0].Subcontractor]
+	if backend.Alive {
+		t.Fatal("backend survived its own takedown")
+	}
+	for _, sub := range subs {
+		if sub.Alive && sub.DiedWeek < 0 {
+			t.Errorf("subcontractor %d never went down with its backend", sub.ID)
+		}
+	}
+}
+
+func TestEntrySuppressionReducesBirths(t *testing.T) {
+	base := DefaultConfig(40, 7)
+	s1 := newSim(t, base)
+	suppressed := base
+	suppressed.Shocks = []Shock{{Week: 0, EntrySuppression: 0.1, EntryWeeks: 40}}
+	s2 := newSim(t, suppressed)
+	var births1, births2 int
+	for w := 0; w < 40; w++ {
+		r1, err := s1.Step(50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := s2.Step(50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		births1 += r1.Births
+		births2 += r2.Births
+	}
+	if births2 >= births1 {
+		t.Errorf("suppressed births %d >= unsuppressed %d", births2, births1)
+	}
+}
+
+func TestDisplacementAbsorbsDemand(t *testing.T) {
+	// When the largest provider dies, survivors should pick up much of
+	// its demand (the "displacement" the paper observes in March 2018).
+	cfg := DefaultConfig(20, 8)
+	cfg.Shocks = []Shock{{Week: 10, KillLargest: 1, Permanent: true}}
+	s := newSim(t, cfg)
+	var served []float64
+	for w := 0; w < 20; w++ {
+		rec, err := s.Step(60000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served = append(served, rec.Served)
+	}
+	pre := served[9]
+	post := served[11]
+	if post < pre*0.7 {
+		t.Errorf("served fell from %.0f to %.0f; displacement should absorb most of the loss", pre, post)
+	}
+}
+
+func TestCounterStyles(t *testing.T) {
+	p := &Provider{Counter: Honest}
+	p.serve(1234)
+	if p.ReportedTotal() != 1234 {
+		t.Errorf("honest counter = %v", p.ReportedTotal())
+	}
+	inflated := &Provider{Counter: Inflated, InflationOffset: 150000, reportedBase: 150000}
+	inflated.serve(10)
+	if inflated.ReportedTotal() != 150010 {
+		t.Errorf("inflated counter = %v", inflated.ReportedTotal())
+	}
+	rounded := &Provider{Counter: Rounded}
+	rounded.serve(12999)
+	if rounded.ReportedTotal() != 12000 {
+		t.Errorf("rounded counter = %v, want 12000", rounded.ReportedTotal())
+	}
+	wiper := &Provider{Counter: Wiping, WipeRate: 1}
+	wiper.serve(500)
+	rng := rand.New(rand.NewSource(1))
+	if !wiper.maybeWipe(rng) {
+		t.Fatal("wipe with rate 1 did not fire")
+	}
+	if wiper.ReportedTotal() != 0 {
+		t.Errorf("counter after wipe = %v, want 0", wiper.ReportedTotal())
+	}
+	if wiper.TrueTotal() != 500 {
+		t.Errorf("true total after wipe = %v, want 500", wiper.TrueTotal())
+	}
+	wiper.serve(100)
+	if wiper.ReportedTotal() != 100 {
+		t.Errorf("counter after wipe+serve = %v, want 100", wiper.ReportedTotal())
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []float64 {
+		s := newSim(t, DefaultConfig(30, 99))
+		var out []float64
+		for w := 0; w < 30; w++ {
+			rec, err := s.Step(40000 + float64(w)*100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rec.Served)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("week %d: %v != %v (same seed must reproduce)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTrueTotalsNeverDecreaseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultConfig(20, seed)
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		prev := make(map[int]float64)
+		for w := 0; w < 20; w++ {
+			if _, err := s.Step(30000); err != nil {
+				return false
+			}
+			for _, p := range s.Providers() {
+				if p.TrueTotal() < prev[p.ID] {
+					return false
+				}
+				prev[p.ID] = p.TrueTotal()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopShareEmptyRange(t *testing.T) {
+	s := newSim(t, DefaultConfig(5, 11))
+	if got := s.TopShare(0, 0); got != 0 {
+		t.Errorf("TopShare over empty range = %v", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Large.String() != "large" || Small.String() != "small" || Medium.String() != "medium" {
+		t.Error("SizeClass strings")
+	}
+	if Honest.String() != "honest" || Rounded.String() != "rounded" ||
+		Wiping.String() != "wiping" || Inflated.String() != "inflated" {
+		t.Error("CounterStyle strings")
+	}
+}

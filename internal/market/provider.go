@@ -1,0 +1,199 @@
+// Package market implements an agent-based simulation of the booter
+// market: providers with a heavy-tailed size distribution and lifecycle
+// (births, deaths, resurrections), weekly user demand allocated across
+// providers with displacement when providers fail, interventions that
+// remove supply and suppress demand, and the self-reported attack counters
+// (with the artifacts the paper documents: counter wipes, inflated starting
+// values, and one provider reporting only multiples of 1000).
+//
+// The simulation substitutes for the live market the paper measured; its
+// outputs feed the same collection and analysis code paths the paper's
+// datasets do.
+package market
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SizeClass buckets providers by scale, mirroring the paper's narrative of
+// "three major players and numerous smaller providers".
+type SizeClass int
+
+const (
+	// Small providers serve little traffic and are unstable.
+	Small SizeClass = iota
+	// Medium providers are "fairly unstable" mid-market booters.
+	Medium
+	// Large providers are the handful of market leaders.
+	Large
+)
+
+// String returns the class label.
+func (s SizeClass) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("SizeClass(%d)", int(s))
+	}
+}
+
+// CounterStyle describes how a provider's public attack counter relates to
+// the true count (§3's data-quality discussion).
+type CounterStyle int
+
+const (
+	// Honest counters report the true cumulative total.
+	Honest CounterStyle = iota
+	// Inflated counters started from a large constant instead of zero.
+	Inflated
+	// Wiping counters are zeroed from time to time ("some wipe their
+	// databases").
+	Wiping
+	// Rounded counters only report multiples of 1000 (the provider the
+	// paper excludes).
+	Rounded
+)
+
+// String returns the style label.
+func (c CounterStyle) String() string {
+	switch c {
+	case Honest:
+		return "honest"
+	case Inflated:
+		return "inflated"
+	case Wiping:
+		return "wiping"
+	case Rounded:
+		return "rounded"
+	default:
+		return fmt.Sprintf("CounterStyle(%d)", int(c))
+	}
+}
+
+// Provider is one booter service.
+type Provider struct {
+	// ID is the provider's stable index in the simulation.
+	ID int
+	// Name is a synthetic service name.
+	Name string
+	// Class is the provider's size class.
+	Class SizeClass
+	// Attractiveness is the provider's share weight when demand is
+	// allocated (advertising reach, reputation).
+	Attractiveness float64
+	// Capacity is the maximum attacks the provider can serve per week.
+	Capacity float64
+	// OutageRate is the weekly probability of a temporary outage
+	// (medium-size booters "tend to be fairly unstable").
+	OutageRate float64
+	// ResurrectionRate is the weekly probability a dead provider returns.
+	ResurrectionRate float64
+	// Subcontractor, when >= 0, is the ID of the provider that actually
+	// performs this provider's attacks (Webstresser-style reselling: a
+	// takedown of the subcontractor disrupts its shop-fronts too).
+	Subcontractor int
+	// Counter is the provider's self-report style.
+	Counter CounterStyle
+	// InflationOffset is the fake starting value of an Inflated counter.
+	InflationOffset float64
+	// WipeRate is the weekly probability a Wiping counter resets.
+	WipeRate float64
+
+	// BornWeek is the week index the provider entered the market.
+	BornWeek int
+	// Alive reports whether the provider is currently serving.
+	Alive bool
+	// PermanentlyDead providers never resurrect (operator arrested).
+	PermanentlyDead bool
+	// DiedWeek is the last week the provider went down (-1 if never).
+	DiedWeek int
+
+	// trueTotal is the cumulative count of attacks actually served.
+	trueTotal float64
+	// reportedBase adjusts the public counter (inflation minus wipes).
+	reportedBase float64
+}
+
+// ReportedTotal returns the value the provider's public counter shows.
+func (p *Provider) ReportedTotal() float64 {
+	v := p.trueTotal + p.reportedBase
+	if p.Counter == Rounded {
+		return float64(int(v/1000) * 1000)
+	}
+	return v
+}
+
+// TrueTotal returns the provider's actual cumulative attack count.
+func (p *Provider) TrueTotal() float64 { return p.trueTotal }
+
+// serve records n attacks performed this week.
+func (p *Provider) serve(n float64) { p.trueTotal += n }
+
+// maybeWipe rolls the weekly database-wipe event for Wiping counters.
+func (p *Provider) maybeWipe(rng *rand.Rand) bool {
+	if p.Counter != Wiping || p.WipeRate <= 0 {
+		return false
+	}
+	if rng.Float64() < p.WipeRate {
+		// Zero the public counter without losing the true history.
+		p.reportedBase = -p.trueTotal
+		return true
+	}
+	return false
+}
+
+// classParams returns the capacity scale, outage rate, resurrection rate
+// and attractiveness boost for a size class. The market is concentrated:
+// the few large providers hold most of the demand-share weight, matching
+// the paper's structure of "three major players and numerous smaller
+// providers" where closing two of the three leaves the survivor with ~60%.
+func classParams(c SizeClass) (capScale, outage, resurrect, boost float64) {
+	switch c {
+	case Large:
+		return 60000, 0.004, 0.4, 4.0
+	case Medium:
+		return 6000, 0.02, 0.25, 1.5
+	default:
+		return 1200, 0.03, 0.12, 1.0
+	}
+}
+
+// newProvider draws a provider of the given class.
+func newProvider(id, bornWeek int, class SizeClass, rng *rand.Rand) *Provider {
+	capScale, outage, res, boost := classParams(class)
+	// Heavy-tailed capacity within class: lognormal-ish spread.
+	capacity := capScale * (0.5 + rng.Float64()*1.5)
+	attract := boost * capacity * (0.7 + 0.6*rng.Float64())
+	p := &Provider{
+		ID:               id,
+		Name:             fmt.Sprintf("stresser-%03d", id),
+		Class:            class,
+		Attractiveness:   attract,
+		Capacity:         capacity,
+		OutageRate:       outage,
+		ResurrectionRate: res,
+		Subcontractor:    -1,
+		Counter:          Honest,
+		BornWeek:         bornWeek,
+		Alive:            true,
+		DiedWeek:         -1,
+	}
+	// Counter artifacts roughly as the paper observed: a handful inflated,
+	// some wiping, exactly one rounded (assigned by the simulation).
+	switch r := rng.Float64(); {
+	case r < 0.05:
+		p.Counter = Inflated
+		p.InflationOffset = float64(50000 + rng.Intn(150001))
+		p.reportedBase = p.InflationOffset
+	case r < 0.20:
+		p.Counter = Wiping
+		p.WipeRate = 0.02
+	}
+	return p
+}

@@ -1,0 +1,291 @@
+// Package protocols defines the ten UDP amplification protocols the paper's
+// honeypot dataset covers (QOTD, CHARGEN, Time, DNS, PORTMAP, NTP, LDAP,
+// MSSQL Monitor, MDNS, SSDP): their well-known ports, typical amplification
+// factors, real request/response wire formats, and popularity-over-time
+// profiles that drive the dataset generator (Figure 6).
+package protocols
+
+import (
+	"fmt"
+	"time"
+)
+
+// Protocol identifies one UDP amplification protocol.
+type Protocol int
+
+// The protocols, in the order the paper lists them (§3).
+const (
+	QOTD Protocol = iota
+	CHARGEN
+	Time
+	DNS
+	PORTMAP
+	NTP
+	LDAP
+	MSSQL
+	MDNS
+	SSDP
+	numProtocols
+)
+
+// All returns every protocol in declaration order.
+func All() []Protocol {
+	out := make([]Protocol, numProtocols)
+	for i := range out {
+		out[i] = Protocol(i)
+	}
+	return out
+}
+
+// Count returns the number of protocols.
+func Count() int { return int(numProtocols) }
+
+// String returns the display name used in Figure 6.
+func (p Protocol) String() string {
+	switch p {
+	case QOTD:
+		return "QOTD"
+	case CHARGEN:
+		return "CHARGEN"
+	case Time:
+		return "TIME"
+	case DNS:
+		return "DNS"
+	case PORTMAP:
+		return "PORTMAP"
+	case NTP:
+		return "NTP"
+	case LDAP:
+		return "LDAP"
+	case MSSQL:
+		return "MSSQL"
+	case MDNS:
+		return "MDNS"
+	case SSDP:
+		return "SSDP"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Port returns the well-known UDP port of the protocol.
+func (p Protocol) Port() int {
+	switch p {
+	case QOTD:
+		return 17
+	case CHARGEN:
+		return 19
+	case Time:
+		return 37
+	case DNS:
+		return 53
+	case PORTMAP:
+		return 111
+	case NTP:
+		return 123
+	case LDAP:
+		return 389
+	case MSSQL:
+		return 1434
+	case MDNS:
+		return 5353
+	case SSDP:
+		return 1900
+	default:
+		return 0
+	}
+}
+
+// ByPort returns the protocol registered on the given UDP port.
+func ByPort(port int) (Protocol, bool) {
+	for _, p := range All() {
+		if p.Port() == port {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// ByName returns the protocol with the given display name.
+func ByName(name string) (Protocol, bool) {
+	for _, p := range All() {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// AmplificationFactor returns the typical bandwidth amplification factor of
+// the protocol: the ratio of response bytes to request bytes an attacker
+// obtains from a real open reflector. Values follow the published
+// amplification literature (Rossow 2014 and later measurements; the LDAP
+// figure is why the paper observes LDAP "has a large amplification factor
+// which has driven its popularity").
+func (p Protocol) AmplificationFactor() float64 {
+	switch p {
+	case QOTD:
+		return 140
+	case CHARGEN:
+		return 358
+	case Time:
+		return 8
+	case DNS:
+		return 54
+	case PORTMAP:
+		return 28
+	case NTP:
+		return 556
+	case LDAP:
+		return 46 // bandwidth factor; combined with few real reflectors
+	case MSSQL:
+		return 25
+	case MDNS:
+		return 10
+	case SSDP:
+		return 30
+	default:
+		return 1
+	}
+}
+
+// Popularity returns the relative weight of the protocol in booter attack
+// mixes at time t, on an arbitrary scale normalised by the caller. The
+// profiles encode the qualitative story of Figure 6:
+//
+//   - NTP and CHARGEN dominate 2014-2016, dropping after the HackForums
+//     closure (Oct 2016);
+//   - DNS and PORTMAP are steady mid-size contributors;
+//   - LDAP is negligible before 2017 then grows continuously, driving the
+//     overall 2017-2018 rise;
+//   - SSDP and MDNS are small and flat; QOTD and Time are tiny.
+func (p Protocol) Popularity(t time.Time) float64 {
+	year := yearFraction(t)
+	switch p {
+	case NTP:
+		switch {
+		case year < 2016.8:
+			return 30
+		case year < 2017.5:
+			return 18
+		default:
+			return 14
+		}
+	case CHARGEN:
+		switch {
+		case year < 2016.8:
+			return 22
+		case year < 2017.5:
+			return 10
+		default:
+			return 5
+		}
+	case DNS:
+		return 18
+	case PORTMAP:
+		return 8
+	case LDAP:
+		switch {
+		case year < 2017.0:
+			return 1
+		default:
+			// Linear growth through 2017-2019: the dominant driver.
+			v := 1 + 30*(year-2017.0)
+			if v > 70 {
+				v = 70
+			}
+			return v
+		}
+	case SSDP:
+		return 7
+	case MDNS:
+		return 3
+	case MSSQL:
+		return 3
+	case QOTD:
+		return 1.5
+	case Time:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// yearFraction converts t to a fractional year (2017.5 is mid-2017).
+func yearFraction(t time.Time) float64 {
+	y := t.Year()
+	start := time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC)
+	return float64(y) + t.Sub(start).Seconds()/end.Sub(start).Seconds()
+}
+
+// ChinaPopularity returns the protocol weight for attacks on Chinese
+// victims, which the paper finds use "a much smaller range of protocols...
+// largely focusing on NTP and SSDP, with LDAP increasingly prominent since
+// the start of 2018" — LDAP replaces NTP there six months later than
+// elsewhere, and DNS is largely absent (Great Firewall hypothesis).
+func (p Protocol) ChinaPopularity(t time.Time) float64 {
+	year := yearFraction(t)
+	switch p {
+	case NTP:
+		switch {
+		case year < 2018.0:
+			return 45
+		default:
+			v := 45 - 25*(year-2018.0)
+			if v < 12 {
+				v = 12
+			}
+			return v
+		}
+	case SSDP:
+		return 30
+	case LDAP:
+		if year < 2017.9 {
+			return 0.5
+		}
+		v := 0.5 + 28*(year-2017.9)
+		if v > 40 {
+			v = 40
+		}
+		return v
+	case DNS:
+		return 1 // blocked at the firewall
+	case CHARGEN:
+		return 4
+	case PORTMAP:
+		return 2
+	default:
+		return 0.5
+	}
+}
+
+// RealReflectorScarcity returns a 0..1 factor describing how scarce real
+// open reflectors are for the protocol (1 = almost none besides honeypots).
+// The paper argues LDAP honeypot coverage is excellent because "there are
+// not many real LDAP reflectors"; the honeypot simulator uses this to set
+// sensor-capture probability.
+func (p Protocol) RealReflectorScarcity() float64 {
+	switch p {
+	case LDAP:
+		return 0.97
+	case PORTMAP:
+		return 0.9
+	case NTP:
+		return 0.85
+	case QOTD, Time:
+		return 0.9
+	case CHARGEN:
+		return 0.8
+	case MSSQL:
+		return 0.7
+	case MDNS:
+		return 0.6
+	case DNS:
+		return 0.4 // many real open resolvers
+	case SSDP:
+		return 0.5
+	default:
+		return 0.5
+	}
+}

@@ -1,0 +1,119 @@
+package protocols
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPortsAreWellKnown(t *testing.T) {
+	want := map[Protocol]int{
+		QOTD: 17, CHARGEN: 19, Time: 37, DNS: 53, PORTMAP: 111,
+		NTP: 123, LDAP: 389, MSSQL: 1434, MDNS: 5353, SSDP: 1900,
+	}
+	for p, port := range want {
+		if got := p.Port(); got != port {
+			t.Errorf("%v.Port() = %d, want %d", p, got, port)
+		}
+	}
+}
+
+func TestByPortRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		got, ok := ByPort(p.Port())
+		if !ok || got != p {
+			t.Errorf("ByPort(%d) = %v, %v; want %v", p.Port(), got, ok, p)
+		}
+	}
+	if _, ok := ByPort(80); ok {
+		t.Error("ByPort(80) should not resolve")
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		got, ok := ByName(p.String())
+		if !ok || got != p {
+			t.Errorf("ByName(%q) = %v, %v; want %v", p.String(), got, ok, p)
+		}
+	}
+	if _, ok := ByName("HTTP"); ok {
+		t.Error("ByName(HTTP) should not resolve")
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	if len(All()) != Count() || Count() != 10 {
+		t.Errorf("All() = %d protocols, Count() = %d; want 10", len(All()), Count())
+	}
+}
+
+func TestAmplificationFactorsPositive(t *testing.T) {
+	for _, p := range All() {
+		if p.AmplificationFactor() < 1 {
+			t.Errorf("%v amplification %v < 1", p, p.AmplificationFactor())
+		}
+	}
+	// NTP and CHARGEN are the classic huge amplifiers.
+	if NTP.AmplificationFactor() < 100 || CHARGEN.AmplificationFactor() < 100 {
+		t.Error("NTP/CHARGEN should have very large amplification factors")
+	}
+}
+
+func TestPopularityProfiles(t *testing.T) {
+	early := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	late := time.Date(2018, 12, 1, 0, 0, 0, 0, time.UTC)
+	// LDAP grows; NTP shrinks (Figure 6's shape).
+	if LDAP.Popularity(late) <= LDAP.Popularity(early) {
+		t.Error("LDAP popularity should grow over time")
+	}
+	if NTP.Popularity(late) >= NTP.Popularity(early) {
+		t.Error("NTP popularity should fall over time")
+	}
+	// All weights non-negative over the whole span.
+	f := func(days uint16) bool {
+		tt := time.Date(2014, 7, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, int(days%1825))
+		for _, p := range All() {
+			if p.Popularity(tt) < 0 || p.ChinaPopularity(tt) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChinaProfileIsNarrow(t *testing.T) {
+	// China: DNS negligible (firewall), NTP+SSDP dominant pre-2018.
+	tt := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	if DNS.ChinaPopularity(tt) > 2 {
+		t.Errorf("DNS China weight %v should be negligible", DNS.ChinaPopularity(tt))
+	}
+	if NTP.ChinaPopularity(tt) < 20 {
+		t.Errorf("NTP China weight %v should dominate in 2017", NTP.ChinaPopularity(tt))
+	}
+	// LDAP rises in China ~6 months later than globally.
+	global2017h2 := LDAP.Popularity(time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC))
+	china2017h2 := LDAP.ChinaPopularity(time.Date(2017, 9, 1, 0, 0, 0, 0, time.UTC))
+	if china2017h2 >= global2017h2 {
+		t.Errorf("LDAP China weight %v should lag global %v in late 2017", china2017h2, global2017h2)
+	}
+	china2018h2 := LDAP.ChinaPopularity(time.Date(2018, 10, 1, 0, 0, 0, 0, time.UTC))
+	if china2018h2 < 15 {
+		t.Errorf("LDAP China weight %v should be prominent by late 2018", china2018h2)
+	}
+}
+
+func TestScarcityBounds(t *testing.T) {
+	for _, p := range All() {
+		s := p.RealReflectorScarcity()
+		if s < 0 || s > 1 {
+			t.Errorf("%v scarcity %v outside [0,1]", p, s)
+		}
+	}
+	if LDAP.RealReflectorScarcity() <= DNS.RealReflectorScarcity() {
+		t.Error("LDAP reflectors should be scarcer than DNS reflectors")
+	}
+}

@@ -1,0 +1,492 @@
+package protocols
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ErrTruncated is returned when a payload is too short to decode.
+var ErrTruncated = errors.New("protocols: truncated payload")
+
+// ErrBadRequest is returned when a payload does not match the protocol's
+// request format.
+var ErrBadRequest = errors.New("protocols: malformed request")
+
+// Request builds the canonical amplification-request payload an attacker's
+// scanner or spoofed-source sender emits for the protocol. These are the
+// packets the honeypot sensors receive and respond to.
+func (p Protocol) Request() []byte {
+	switch p {
+	case QOTD, CHARGEN, Time:
+		// Any (even empty) datagram elicits a response; a single newline is
+		// what common scanners send.
+		return []byte{'\n'}
+	case DNS:
+		return dnsANYQuery("example.com", 0x1337)
+	case PORTMAP:
+		return portmapDumpCall(0x2a2a2a2a)
+	case NTP:
+		return ntpMonlistRequest()
+	case LDAP:
+		return ldapSearchRequest()
+	case MSSQL:
+		return []byte{0x02} // CLNT_BCAST_EX ping
+	case MDNS:
+		return dnsANYQuery("_services._dns-sd._udp.local", 0)
+	case SSDP:
+		return ssdpMSearch()
+	default:
+		return nil
+	}
+}
+
+// ValidateRequest reports whether payload parses as a plausible
+// amplification request for the protocol.
+func (p Protocol) ValidateRequest(payload []byte) error {
+	switch p {
+	case QOTD, CHARGEN, Time:
+		return nil // any datagram triggers a response
+	case DNS, MDNS:
+		_, _, err := ParseDNSQuery(payload)
+		return err
+	case PORTMAP:
+		_, err := ParsePortmapCall(payload)
+		return err
+	case NTP:
+		return ValidateNTPMonlist(payload)
+	case LDAP:
+		return ValidateLDAPSearch(payload)
+	case MSSQL:
+		if len(payload) < 1 || (payload[0] != 0x02 && payload[0] != 0x03) {
+			return ErrBadRequest
+		}
+		return nil
+	case SSDP:
+		if !bytes.HasPrefix(payload, []byte("M-SEARCH")) {
+			return ErrBadRequest
+		}
+		return nil
+	default:
+		return fmt.Errorf("protocols: no validator for %v", p)
+	}
+}
+
+// Response builds the (possibly truncated, rate-limited) reflector response
+// a honeypot sensor would send for a valid request. maxLen caps the
+// response size; maxLen <= 0 means no cap. The honeypot deliberately
+// responds with small payloads so that it amplifies far less than a real
+// reflector (the ethics-appendix behaviour).
+func (p Protocol) Response(request []byte, maxLen int) []byte {
+	var resp []byte
+	switch p {
+	case QOTD:
+		resp = []byte("\"The quieter you become, the more you are able to hear.\"\r\n")
+	case CHARGEN:
+		resp = chargenLine(0)
+	case Time:
+		resp = timeResponse(time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC))
+	case DNS, MDNS:
+		id, name, err := ParseDNSQuery(request)
+		if err != nil {
+			return nil
+		}
+		resp = dnsANYResponse(id, name)
+	case PORTMAP:
+		xid, err := ParsePortmapCall(request)
+		if err != nil {
+			return nil
+		}
+		resp = portmapDumpReply(xid)
+	case NTP:
+		resp = ntpMonlistResponse(3)
+	case LDAP:
+		resp = ldapSearchResponse()
+	case MSSQL:
+		resp = mssqlBrowserResponse()
+	case SSDP:
+		resp = ssdpResponse()
+	}
+	if maxLen > 0 && len(resp) > maxLen {
+		resp = resp[:maxLen]
+	}
+	return resp
+}
+
+// --- DNS / MDNS -------------------------------------------------------
+
+// dnsANYQuery encodes a DNS query for QTYPE ANY (255), QCLASS IN, with
+// recursion desired: the classic DNS amplification request.
+func dnsANYQuery(name string, id uint16) []byte {
+	var b bytes.Buffer
+	hdr := [12]byte{}
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	binary.BigEndian.PutUint16(hdr[2:], 0x0100) // RD
+	binary.BigEndian.PutUint16(hdr[4:], 1)      // QDCOUNT
+	b.Write(hdr[:])
+	writeDNSName(&b, name)
+	var q [4]byte
+	binary.BigEndian.PutUint16(q[0:], 255) // ANY
+	binary.BigEndian.PutUint16(q[2:], 1)   // IN
+	b.Write(q[:])
+	return b.Bytes()
+}
+
+func writeDNSName(b *bytes.Buffer, name string) {
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if label == "" {
+			continue
+		}
+		b.WriteByte(byte(len(label)))
+		b.WriteString(label)
+	}
+	b.WriteByte(0)
+}
+
+// ParseDNSQuery decodes the transaction ID and query name of a DNS query,
+// validating the header and question section.
+func ParseDNSQuery(payload []byte) (id uint16, name string, err error) {
+	if len(payload) < 12 {
+		return 0, "", ErrTruncated
+	}
+	id = binary.BigEndian.Uint16(payload[0:])
+	flags := binary.BigEndian.Uint16(payload[2:])
+	if flags&0x8000 != 0 {
+		return 0, "", fmt.Errorf("%w: QR bit set on query", ErrBadRequest)
+	}
+	qd := binary.BigEndian.Uint16(payload[4:])
+	if qd == 0 {
+		return 0, "", fmt.Errorf("%w: no question", ErrBadRequest)
+	}
+	var labels []string
+	i := 12
+	for {
+		if i >= len(payload) {
+			return 0, "", ErrTruncated
+		}
+		l := int(payload[i])
+		i++
+		if l == 0 {
+			break
+		}
+		if l > 63 {
+			return 0, "", fmt.Errorf("%w: label length %d", ErrBadRequest, l)
+		}
+		if i+l > len(payload) {
+			return 0, "", ErrTruncated
+		}
+		labels = append(labels, string(payload[i:i+l]))
+		i += l
+	}
+	if i+4 > len(payload) {
+		return 0, "", ErrTruncated
+	}
+	return id, strings.Join(labels, "."), nil
+}
+
+// dnsANYResponse encodes a response to an ANY query carrying a handful of
+// records (A, TXT), which is what an amplifier would return (real amplifiers
+// return kilobytes; the honeypot keeps it small).
+func dnsANYResponse(id uint16, name string) []byte {
+	var b bytes.Buffer
+	hdr := [12]byte{}
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	binary.BigEndian.PutUint16(hdr[2:], 0x8180) // QR, RD, RA
+	binary.BigEndian.PutUint16(hdr[4:], 1)      // QDCOUNT
+	binary.BigEndian.PutUint16(hdr[6:], 3)      // ANCOUNT
+	b.Write(hdr[:])
+	writeDNSName(&b, name)
+	var q [4]byte
+	binary.BigEndian.PutUint16(q[0:], 255)
+	binary.BigEndian.PutUint16(q[2:], 1)
+	b.Write(q[:])
+	// Three answers: two A records and one TXT, each using a name pointer
+	// to offset 12 (0xC00C).
+	writeA := func(ip [4]byte) {
+		b.Write([]byte{0xC0, 0x0C})
+		var rr [10]byte
+		binary.BigEndian.PutUint16(rr[0:], 1) // A
+		binary.BigEndian.PutUint16(rr[2:], 1) // IN
+		binary.BigEndian.PutUint32(rr[4:], 300)
+		binary.BigEndian.PutUint16(rr[8:], 4)
+		b.Write(rr[:])
+		b.Write(ip[:])
+	}
+	writeA([4]byte{192, 0, 2, 1})
+	writeA([4]byte{192, 0, 2, 2})
+	b.Write([]byte{0xC0, 0x0C})
+	txt := "v=spf1 -all honeypot"
+	var rr [10]byte
+	binary.BigEndian.PutUint16(rr[0:], 16) // TXT
+	binary.BigEndian.PutUint16(rr[2:], 1)
+	binary.BigEndian.PutUint32(rr[4:], 300)
+	binary.BigEndian.PutUint16(rr[8:], uint16(len(txt)+1))
+	b.Write(rr[:])
+	b.WriteByte(byte(len(txt)))
+	b.WriteString(txt)
+	return b.Bytes()
+}
+
+// --- SUNRPC portmap ----------------------------------------------------
+
+// portmapDumpCall encodes an ONC-RPC v2 CALL to the portmapper's DUMP
+// procedure (program 100000, version 2, procedure 4).
+func portmapDumpCall(xid uint32) []byte {
+	var b bytes.Buffer
+	w := func(v uint32) {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], v)
+		b.Write(buf[:])
+	}
+	w(xid)
+	w(0)      // CALL
+	w(2)      // RPC version
+	w(100000) // portmap program
+	w(2)      // program version
+	w(4)      // PMAPPROC_DUMP
+	w(0)      // cred AUTH_NULL
+	w(0)      // cred length
+	w(0)      // verf AUTH_NULL
+	w(0)      // verf length
+	return b.Bytes()
+}
+
+// ParsePortmapCall validates a portmap DUMP call and returns its XID.
+func ParsePortmapCall(payload []byte) (xid uint32, err error) {
+	if len(payload) < 40 {
+		return 0, ErrTruncated
+	}
+	u := func(off int) uint32 { return binary.BigEndian.Uint32(payload[off:]) }
+	if u(4) != 0 {
+		return 0, fmt.Errorf("%w: not an RPC CALL", ErrBadRequest)
+	}
+	if u(8) != 2 || u(12) != 100000 {
+		return 0, fmt.Errorf("%w: not portmap v2", ErrBadRequest)
+	}
+	if u(20) != 4 && u(20) != 3 {
+		return 0, fmt.Errorf("%w: procedure %d is not DUMP/GETPORT", ErrBadRequest, u(20))
+	}
+	return u(0), nil
+}
+
+// portmapDumpReply encodes a small DUMP reply listing two registered
+// mappings.
+func portmapDumpReply(xid uint32) []byte {
+	var b bytes.Buffer
+	w := func(v uint32) {
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], v)
+		b.Write(buf[:])
+	}
+	w(xid)
+	w(1) // REPLY
+	w(0) // MSG_ACCEPTED
+	w(0) // verf AUTH_NULL
+	w(0) // verf length
+	w(0) // SUCCESS
+	// mapping list: (value follows) prog, vers, prot, port
+	entries := [][4]uint32{
+		{100000, 2, 17, 111},
+		{100003, 3, 17, 2049},
+	}
+	for _, e := range entries {
+		w(1) // value follows
+		for _, v := range e {
+			w(v)
+		}
+	}
+	w(0) // end of list
+	return b.Bytes()
+}
+
+// --- NTP ---------------------------------------------------------------
+
+// ntpMonlistRequest encodes an NTP mode-7 MON_GETLIST_1 request, the classic
+// NTP amplification vector.
+func ntpMonlistRequest() []byte {
+	b := make([]byte, 8)
+	b[0] = 0x17 // LI=0, version 2, mode 7 (private)
+	b[1] = 0x00 // sequence 0, no more
+	b[2] = 0x03 // implementation XNTPD
+	b[3] = 0x2a // request MON_GETLIST_1 (42)
+	return b
+}
+
+// ValidateNTPMonlist checks a payload for the mode-7 monlist signature.
+func ValidateNTPMonlist(payload []byte) error {
+	if len(payload) < 4 {
+		return ErrTruncated
+	}
+	if payload[0]&0x07 != 7 {
+		return fmt.Errorf("%w: NTP mode %d is not private (7)", ErrBadRequest, payload[0]&0x07)
+	}
+	if payload[3] != 0x2a {
+		return fmt.Errorf("%w: request code %#x is not MON_GETLIST_1", ErrBadRequest, payload[3])
+	}
+	return nil
+}
+
+// ntpMonlistResponse encodes a mode-7 response carrying n 72-byte monitor
+// entries (a real server returns up to 600 across many packets; the
+// honeypot returns a handful).
+func ntpMonlistResponse(n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > 6 {
+		n = 6
+	}
+	b := make([]byte, 8+72*n)
+	b[0] = 0x97 // response bit | version 2 | mode 7
+	b[1] = 0x00
+	b[2] = 0x03
+	b[3] = 0x2a
+	binary.BigEndian.PutUint16(b[4:], uint16(n)) // item count
+	binary.BigEndian.PutUint16(b[6:], 72)        // item size
+	for i := 0; i < n; i++ {
+		entry := b[8+72*i:]
+		binary.BigEndian.PutUint32(entry[0:], uint32(1000*i)) // avg interval
+		binary.BigEndian.PutUint32(entry[8:], 0xC0000200+uint32(i))
+	}
+	return b
+}
+
+// --- LDAP --------------------------------------------------------------
+
+// ldapSearchRequest encodes a minimal CLDAP searchRequest for the root DSE
+// with filter (objectClass=*), the connectionless-LDAP amplification vector.
+func ldapSearchRequest() []byte {
+	// BER: SEQUENCE { messageID 1, [APPLICATION 3] SearchRequest { ... } }
+	// Built inside-out.
+	filter := []byte{0x87, 0x0b}
+	filter = append(filter, []byte("objectClass")...) // present-filter
+	var sr bytes.Buffer
+	sr.Write([]byte{0x04, 0x00})       // baseObject ""
+	sr.Write([]byte{0x0a, 0x01, 0x00}) // scope baseObject
+	sr.Write([]byte{0x0a, 0x01, 0x00}) // derefAliases never
+	sr.Write([]byte{0x02, 0x01, 0x00}) // sizeLimit 0
+	sr.Write([]byte{0x02, 0x01, 0x00}) // timeLimit 0
+	sr.Write([]byte{0x01, 0x01, 0x00}) // typesOnly FALSE
+	sr.Write(filter)                   // filter
+	sr.Write([]byte{0x30, 0x00})       // attributes: empty sequence
+	app := append([]byte{0x63, byte(sr.Len())}, sr.Bytes()...)
+	body := append([]byte{0x02, 0x01, 0x01}, app...) // messageID 1
+	return append([]byte{0x30, byte(len(body))}, body...)
+}
+
+// ValidateLDAPSearch checks that the payload is a BER sequence containing an
+// LDAP searchRequest (application tag 3).
+func ValidateLDAPSearch(payload []byte) error {
+	if len(payload) < 7 {
+		return ErrTruncated
+	}
+	if payload[0] != 0x30 {
+		return fmt.Errorf("%w: not a BER SEQUENCE", ErrBadRequest)
+	}
+	// messageID then application tag 0x63 (searchRequest).
+	if payload[2] != 0x02 {
+		return fmt.Errorf("%w: missing messageID", ErrBadRequest)
+	}
+	idLen := int(payload[3])
+	off := 4 + idLen
+	if off >= len(payload) {
+		return ErrTruncated
+	}
+	if payload[off] != 0x63 {
+		return fmt.Errorf("%w: tag %#x is not searchRequest", ErrBadRequest, payload[off])
+	}
+	return nil
+}
+
+// ldapSearchResponse encodes a small searchResEntry plus searchResDone for
+// the root DSE.
+func ldapSearchResponse() []byte {
+	var entry bytes.Buffer
+	entry.Write([]byte{0x04, 0x00}) // objectName ""
+	// attributes: sequence of one PartialAttribute
+	attrName := "objectClass"
+	vals := []string{"top"}
+	var attr bytes.Buffer
+	attr.Write([]byte{0x04, byte(len(attrName))})
+	attr.WriteString(attrName)
+	var set bytes.Buffer
+	for _, v := range vals {
+		set.Write([]byte{0x04, byte(len(v))})
+		set.WriteString(v)
+	}
+	attr.Write([]byte{0x31, byte(set.Len())})
+	attr.Write(set.Bytes())
+	var attrs bytes.Buffer
+	attrs.Write([]byte{0x30, byte(attr.Len())})
+	attrs.Write(attr.Bytes())
+	entry.Write([]byte{0x30, byte(attrs.Len())})
+	entry.Write(attrs.Bytes())
+
+	app := append([]byte{0x64, byte(entry.Len())}, entry.Bytes()...) // searchResEntry
+	msg1 := append([]byte{0x02, 0x01, 0x01}, app...)
+	pkt1 := append([]byte{0x30, byte(len(msg1))}, msg1...)
+
+	done := []byte{0x65, 0x07, 0x0a, 0x01, 0x00, 0x04, 0x00, 0x04, 0x00} // success
+	msg2 := append([]byte{0x02, 0x01, 0x01}, done...)
+	pkt2 := append([]byte{0x30, byte(len(msg2))}, msg2...)
+	return append(pkt1, pkt2...)
+}
+
+// --- misc text/binary protocols ----------------------------------------
+
+// chargenLine returns one 72-character rotating CHARGEN line plus CRLF,
+// starting at offset off into the printable-ASCII ring.
+func chargenLine(off int) []byte {
+	const printable = 95 // ASCII 32..126
+	line := make([]byte, 74)
+	for i := 0; i < 72; i++ {
+		line[i] = byte(32 + (off+i)%printable)
+	}
+	line[72], line[73] = '\r', '\n'
+	return line
+}
+
+// timeResponse encodes the RFC 868 Time response: seconds since 1900-01-01
+// as a big-endian uint32.
+func timeResponse(t time.Time) []byte {
+	epoch1900 := time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+	secs := uint32(t.Sub(epoch1900) / time.Second)
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint32(out, secs)
+	return out
+}
+
+// ssdpMSearch encodes the SSDP discovery request used for amplification
+// (ssdp:all elicits one response per service).
+func ssdpMSearch() []byte {
+	return []byte("M-SEARCH * HTTP/1.1\r\n" +
+		"HOST: 239.255.255.250:1900\r\n" +
+		"MAN: \"ssdp:discover\"\r\n" +
+		"MX: 1\r\n" +
+		"ST: ssdp:all\r\n\r\n")
+}
+
+// ssdpResponse encodes one SSDP search response.
+func ssdpResponse() []byte {
+	return []byte("HTTP/1.1 200 OK\r\n" +
+		"CACHE-CONTROL: max-age=1800\r\n" +
+		"EXT:\r\n" +
+		"LOCATION: http://192.0.2.1:80/desc.xml\r\n" +
+		"SERVER: Honeypot/1.0 UPnP/1.0\r\n" +
+		"ST: upnp:rootdevice\r\n" +
+		"USN: uuid:00000000-0000-0000-0000-000000000000::upnp:rootdevice\r\n\r\n")
+}
+
+// mssqlBrowserResponse encodes an SQL Server Browser CLNT_BCAST_EX response
+// advertising one instance.
+func mssqlBrowserResponse() []byte {
+	body := "ServerName;HONEYPOT;InstanceName;MSSQLSERVER;IsClustered;No;Version;10.50.1600.1;tcp;1433;;"
+	out := make([]byte, 3+len(body))
+	out[0] = 0x05 // SVR_RESP
+	binary.LittleEndian.PutUint16(out[1:], uint16(len(body)))
+	copy(out[3:], body)
+	return out
+}

@@ -1,0 +1,299 @@
+package protocols
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEveryProtocolRequestValidates(t *testing.T) {
+	for _, p := range All() {
+		req := p.Request()
+		if req == nil {
+			t.Errorf("%v.Request() is nil", p)
+			continue
+		}
+		if err := p.ValidateRequest(req); err != nil {
+			t.Errorf("%v.ValidateRequest(own request) = %v", p, err)
+		}
+	}
+}
+
+func TestEveryProtocolResponds(t *testing.T) {
+	for _, p := range All() {
+		resp := p.Response(p.Request(), 0)
+		if len(resp) == 0 {
+			t.Errorf("%v.Response() is empty", p)
+		}
+	}
+}
+
+func TestResponseCap(t *testing.T) {
+	for _, p := range All() {
+		resp := p.Response(p.Request(), 16)
+		if len(resp) > 16 {
+			t.Errorf("%v response length %d exceeds cap 16", p, len(resp))
+		}
+	}
+}
+
+func TestDNSQueryRoundTrip(t *testing.T) {
+	q := dnsANYQuery("attack.example.org", 0xBEEF)
+	id, name, err := ParseDNSQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0xBEEF {
+		t.Errorf("id = %#x, want 0xBEEF", id)
+	}
+	if name != "attack.example.org" {
+		t.Errorf("name = %q", name)
+	}
+}
+
+func TestDNSQueryRejectsResponses(t *testing.T) {
+	q := dnsANYQuery("example.com", 1)
+	// Set the QR bit: now it's a response, not a query.
+	q[2] |= 0x80
+	if _, _, err := ParseDNSQuery(q); err == nil {
+		t.Error("ParseDNSQuery accepted a response packet")
+	}
+}
+
+func TestDNSQueryTruncation(t *testing.T) {
+	q := dnsANYQuery("example.com", 1)
+	for _, cut := range []int{0, 5, 11, 13, len(q) - 1} {
+		if _, _, err := ParseDNSQuery(q[:cut]); err == nil {
+			t.Errorf("ParseDNSQuery accepted %d-byte truncation", cut)
+		}
+	}
+}
+
+func TestDNSResponseWellFormed(t *testing.T) {
+	resp := dnsANYResponse(0x1234, "example.com")
+	if len(resp) < 12 {
+		t.Fatal("response too short")
+	}
+	if binary.BigEndian.Uint16(resp[0:]) != 0x1234 {
+		t.Error("response id mismatch")
+	}
+	if resp[2]&0x80 == 0 {
+		t.Error("QR bit not set on response")
+	}
+	an := binary.BigEndian.Uint16(resp[6:])
+	if an != 3 {
+		t.Errorf("ANCOUNT = %d, want 3", an)
+	}
+	// Response must amplify the query.
+	if len(resp) <= len(dnsANYQuery("example.com", 0x1234)) {
+		t.Error("DNS response does not amplify")
+	}
+}
+
+func TestPortmapRoundTrip(t *testing.T) {
+	call := portmapDumpCall(0xCAFEBABE)
+	xid, err := ParsePortmapCall(call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xid != 0xCAFEBABE {
+		t.Errorf("xid = %#x", xid)
+	}
+	reply := portmapDumpReply(xid)
+	if binary.BigEndian.Uint32(reply[0:]) != xid {
+		t.Error("reply xid mismatch")
+	}
+	if binary.BigEndian.Uint32(reply[4:]) != 1 {
+		t.Error("reply type should be REPLY (1)")
+	}
+}
+
+func TestPortmapRejectsNonPortmap(t *testing.T) {
+	call := portmapDumpCall(1)
+	bad := make([]byte, len(call))
+	copy(bad, call)
+	binary.BigEndian.PutUint32(bad[12:], 100003) // NFS, not portmap
+	if _, err := ParsePortmapCall(bad); err == nil {
+		t.Error("accepted non-portmap program")
+	}
+	if _, err := ParsePortmapCall(call[:20]); err == nil {
+		t.Error("accepted truncated call")
+	}
+}
+
+func TestNTPMonlistRoundTrip(t *testing.T) {
+	req := ntpMonlistRequest()
+	if err := ValidateNTPMonlist(req); err != nil {
+		t.Fatal(err)
+	}
+	resp := ntpMonlistResponse(3)
+	if resp[0]&0x80 == 0 {
+		t.Error("response bit not set")
+	}
+	n := binary.BigEndian.Uint16(resp[4:])
+	if n != 3 {
+		t.Errorf("item count = %d, want 3", n)
+	}
+	if len(resp) != 8+72*3 {
+		t.Errorf("response length = %d, want %d", len(resp), 8+72*3)
+	}
+}
+
+func TestNTPMonlistRejectsOtherModes(t *testing.T) {
+	req := ntpMonlistRequest()
+	bad := make([]byte, len(req))
+	copy(bad, req)
+	bad[0] = 0x1B // mode 3 client, the benign NTP query
+	if err := ValidateNTPMonlist(bad); err == nil {
+		t.Error("accepted mode-3 packet as monlist")
+	}
+	copy(bad, req)
+	bad[3] = 0x00 // different request code
+	if err := ValidateNTPMonlist(bad); err == nil {
+		t.Error("accepted non-monlist request code")
+	}
+}
+
+func TestNTPMonlistResponseClamps(t *testing.T) {
+	if got := ntpMonlistResponse(100); len(got) != 8+72*6 {
+		t.Errorf("oversize request should clamp to 6 entries, got %d bytes", len(got))
+	}
+	if got := ntpMonlistResponse(-1); len(got) != 8 {
+		t.Errorf("negative count should clamp to 0 entries, got %d bytes", len(got))
+	}
+}
+
+func TestLDAPSearchRoundTrip(t *testing.T) {
+	req := ldapSearchRequest()
+	if err := ValidateLDAPSearch(req); err != nil {
+		t.Fatal(err)
+	}
+	resp := ldapSearchResponse()
+	if len(resp) == 0 {
+		t.Fatal("empty LDAP response")
+	}
+	// Response must carry a searchResEntry (0x64) and searchResDone (0x65).
+	if !bytes.Contains(resp, []byte{0x64}) || !bytes.Contains(resp, []byte{0x65}) {
+		t.Error("LDAP response missing searchResEntry/searchResDone")
+	}
+}
+
+func TestLDAPSearchRejectsGarbage(t *testing.T) {
+	if err := ValidateLDAPSearch([]byte("GET / HTTP/1.1")); err == nil {
+		t.Error("accepted HTTP as LDAP")
+	}
+	if err := ValidateLDAPSearch([]byte{0x30, 0x01}); err == nil {
+		t.Error("accepted truncated BER")
+	}
+}
+
+func TestChargenLineFormat(t *testing.T) {
+	line := chargenLine(0)
+	if len(line) != 74 {
+		t.Fatalf("line length = %d, want 74", len(line))
+	}
+	if line[72] != '\r' || line[73] != '\n' {
+		t.Error("line not CRLF terminated")
+	}
+	for i := 0; i < 72; i++ {
+		if line[i] < 32 || line[i] > 126 {
+			t.Errorf("byte %d = %#x not printable", i, line[i])
+		}
+	}
+	// Rotation: offset 1 shifts the ring by one.
+	l1 := chargenLine(1)
+	if l1[0] != line[1] {
+		t.Error("chargen ring does not rotate")
+	}
+}
+
+func TestTimeResponseEpoch(t *testing.T) {
+	resp := Time.Response([]byte{'\n'}, 0)
+	if len(resp) != 4 {
+		t.Fatalf("time response length = %d", len(resp))
+	}
+	secs := binary.BigEndian.Uint32(resp)
+	// RFC 868 counts seconds from 1900-01-01; the sensor stamps
+	// 2018-12-19 00:00 UTC.
+	epoch1900 := time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+	stamp := time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC)
+	want := uint32(stamp.Sub(epoch1900) / time.Second)
+	if secs != want {
+		t.Errorf("time seconds = %d, want %d", secs, want)
+	}
+	// Sanity: the value is about 119 years of seconds.
+	years := float64(secs) / (365.25 * 86400)
+	if years < 118 || years > 120 {
+		t.Errorf("epoch distance = %.1f years, want ~119", years)
+	}
+}
+
+func TestSSDPFormats(t *testing.T) {
+	req := ssdpMSearch()
+	if err := SSDP.ValidateRequest(req); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(req, []byte("ssdp:discover")) {
+		t.Error("M-SEARCH missing MAN header")
+	}
+	resp := ssdpResponse()
+	if !bytes.HasPrefix(resp, []byte("HTTP/1.1 200 OK")) {
+		t.Error("SSDP response is not an HTTP 200")
+	}
+	if err := SSDP.ValidateRequest([]byte("NOTIFY * HTTP/1.1\r\n")); err == nil {
+		t.Error("accepted NOTIFY as M-SEARCH")
+	}
+}
+
+func TestMSSQLFormats(t *testing.T) {
+	if err := MSSQL.ValidateRequest([]byte{0x02}); err != nil {
+		t.Error("rejected CLNT_BCAST_EX")
+	}
+	if err := MSSQL.ValidateRequest([]byte{0x99}); err == nil {
+		t.Error("accepted unknown MSSQL opcode")
+	}
+	resp := mssqlBrowserResponse()
+	if resp[0] != 0x05 {
+		t.Error("MSSQL response missing SVR_RESP opcode")
+	}
+	if int(binary.LittleEndian.Uint16(resp[1:])) != len(resp)-3 {
+		t.Error("MSSQL response length field mismatch")
+	}
+}
+
+func TestValidateRejectsRandomGarbageForStructuredProtocols(t *testing.T) {
+	structured := []Protocol{DNS, PORTMAP, NTP, LDAP, MDNS}
+	f := func(data []byte) bool {
+		if len(data) < 4 {
+			return true
+		}
+		for _, p := range structured {
+			// Random bytes should nearly never validate; tolerate the
+			// rare lucky packet by only rejecting deterministic accepts
+			// of empty-ish data.
+			if err := p.ValidateRequest(data[:2]); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDNSNameEncoding(t *testing.T) {
+	var b bytes.Buffer
+	writeDNSName(&b, "a.bb.ccc")
+	want := []byte{1, 'a', 2, 'b', 'b', 3, 'c', 'c', 'c', 0}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("encoded = %v, want %v", b.Bytes(), want)
+	}
+	b.Reset()
+	writeDNSName(&b, "trailing.dot.")
+	if b.Bytes()[len(b.Bytes())-1] != 0 {
+		t.Error("missing root label")
+	}
+}

@@ -1,0 +1,325 @@
+// Package report renders the reproduction's tables and figures: ASCII
+// tables in the layout of the paper's Tables 1-3, text-mode weekly series
+// and stacked-area "figures", and CSV output for external plotting.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"booters/internal/timeseries"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the cell text.
+	Rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var total int
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Sparkline renders values as a compact unicode bar chart, useful for
+// figures in terminal output.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(bars)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		b.WriteRune(bars[idx])
+	}
+	return b.String()
+}
+
+// SeriesChart renders a weekly series as a fixed-height text chart with a
+// y-axis scale and month markers, the text analogue of the paper's line
+// figures.
+func SeriesChart(title string, s *timeseries.Series, height int) string {
+	if height < 2 {
+		height = 8
+	}
+	n := s.Len()
+	if n == 0 {
+		return title + "\n(empty series)\n"
+	}
+	lo, hi := s.Values[0], s.Values[0]
+	for _, v := range s.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	for i, v := range s.Values {
+		level := int((v - lo) / (hi - lo) * float64(height-1))
+		for r := 0; r <= level; r++ {
+			grid[height-1-r][i] = '#'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%s .. %s]\n", title, formatCount(lo), formatCount(hi))
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7s ", formatCount(hi))
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%7s ", formatCount(lo))
+		}
+		b.WriteString(label)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	// Year markers along the x axis.
+	axis := []byte(strings.Repeat(" ", n))
+	prevYear := 0
+	for i := 0; i < n; i++ {
+		y := s.Week(i).Year()
+		if y != prevYear {
+			yr := fmt.Sprintf("%d", y)
+			for j := 0; j < len(yr) && i+j < n; j++ {
+				axis[i+j] = yr[j]
+			}
+			prevYear = y
+		}
+	}
+	b.WriteString("        ")
+	b.Write(axis)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// StackedChart renders several aligned series as a stacked text chart: each
+// column shows the total height, with the dominant component's symbol. It
+// is the text analogue of the paper's stacked-area figures (3, 6, 7).
+func StackedChart(title string, names []string, series map[string]*timeseries.Series, height int) string {
+	if len(names) == 0 {
+		return title + "\n(no series)\n"
+	}
+	if height < 2 {
+		height = 10
+	}
+	n := 0
+	for _, nm := range names {
+		if s := series[nm]; s != nil && s.Len() > n {
+			n = s.Len()
+		}
+	}
+	symbols := []byte("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+	totals := make([]float64, n)
+	domSym := make([]byte, n)
+	for i := 0; i < n; i++ {
+		var best float64
+		domSym[i] = ' '
+		for k, nm := range names {
+			s := series[nm]
+			if s == nil || i >= s.Len() {
+				continue
+			}
+			v := s.Values[i]
+			totals[i] += v
+			if v > best {
+				best = v
+				domSym[i] = symbols[k%len(symbols)]
+			}
+		}
+	}
+	var hi float64
+	for _, v := range totals {
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		hi = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	for i, v := range totals {
+		level := int(v / hi * float64(height-1))
+		for r := 0; r <= level; r++ {
+			grid[height-1-r][i] = domSym[i]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [peak %s]\n", title, formatCount(hi))
+	var legend []string
+	for k, nm := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", symbols[k%len(symbols)], nm))
+	}
+	b.WriteString("legend: " + strings.Join(legend, " ") + "\n")
+	for _, row := range grid {
+		b.WriteString("  ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CorrelationHeatmap renders a correlation matrix (Figure 4) as a labelled
+// text grid.
+func CorrelationHeatmap(names []string, corr interface{ At(i, j int) float64 }) string {
+	var b strings.Builder
+	b.WriteString("      ")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%6s", n)
+	}
+	b.WriteByte('\n')
+	for i, n := range names {
+		fmt.Fprintf(&b, "%6s", n)
+		for j := range names {
+			v := corr.At(i, j)
+			if math.IsNaN(v) {
+				b.WriteString("     -")
+			} else {
+				fmt.Fprintf(&b, "%6.2f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCount renders a count with a k/M suffix for readability.
+func formatCount(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// FormatPercent renders a percentage in the paper's style (e.g. "-32%").
+func FormatPercent(v float64) string {
+	return fmt.Sprintf("%+.0f%%", v)
+}
+
+// FormatP renders a p-value in the paper's style with significance stars.
+func FormatP(p float64) string {
+	stars := ""
+	switch {
+	case p < 0.01:
+		stars = "**"
+	case p < 0.05:
+		stars = "*"
+	}
+	return fmt.Sprintf("%.3f%s", p, stars)
+}
+
+// SortedKeys returns the map keys in sorted order (deterministic output).
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

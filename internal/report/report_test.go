@@ -1,0 +1,146 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"booters/internal/timeseries"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "bb", "ccc"}}
+	tbl.AddRow("1", "22", "333")
+	tbl.AddRow("longer", "x", "y")
+	out := tbl.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: "bb" starts at the same offset in header and rows.
+	hdrIdx := strings.Index(lines[1], "bb")
+	rowIdx := strings.Index(lines[3], "22")
+	if hdrIdx != rowIdx {
+		t.Errorf("column misaligned: header %d vs row %d", hdrIdx, rowIdx)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "note"}}
+	tbl.AddRow("a,b", `say "hi"`)
+	csv := tbl.CSV()
+	want := "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	out := []rune(Sparkline([]float64{0, 1, 2, 3}))
+	if len(out) != 4 {
+		t.Fatalf("sparkline length = %d", len(out))
+	}
+	if out[0] >= out[3] {
+		t.Error("sparkline not increasing for increasing data")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Error("flat sparkline wrong length")
+	}
+}
+
+func weekSeries(vals ...float64) *timeseries.Series {
+	s := timeseries.NewSeries(timeseries.WeekOf(time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)), len(vals))
+	copy(s.Values, vals)
+	return s
+}
+
+func TestSeriesChart(t *testing.T) {
+	s := weekSeries(10, 20, 30, 40, 50)
+	out := SeriesChart("title", s, 5)
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	// Header + 5 rows + axis + trailing empty.
+	if len(lines) != 8 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Last value column must be a full bar, first a minimal one.
+	if !strings.Contains(out, "#") {
+		t.Error("no bars rendered")
+	}
+	if !strings.Contains(out, "2018") {
+		t.Error("year axis missing")
+	}
+	empty := timeseries.NewSeries(s.StartWeek, 0)
+	if !strings.Contains(SeriesChart("e", empty, 5), "empty") {
+		t.Error("empty series not reported")
+	}
+}
+
+func TestStackedChart(t *testing.T) {
+	a := weekSeries(10, 10, 10)
+	b := weekSeries(1, 20, 1)
+	out := StackedChart("stack", []string{"first", "second"}, map[string]*timeseries.Series{"first": a, "second": b}, 6)
+	if !strings.Contains(out, "A=first") || !strings.Contains(out, "B=second") {
+		t.Error("legend missing")
+	}
+	// Middle column dominated by "second" (B), edges by "first" (A).
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("dominant symbols missing")
+	}
+	if got := StackedChart("empty", nil, nil, 5); !strings.Contains(got, "no series") {
+		t.Error("empty stack not reported")
+	}
+}
+
+type fakeCorr struct{ vals [][]float64 }
+
+func (f fakeCorr) At(i, j int) float64 { return f.vals[i][j] }
+
+func TestCorrelationHeatmap(t *testing.T) {
+	out := CorrelationHeatmap([]string{"US", "UK"}, fakeCorr{vals: [][]float64{{1, 0.5}, {0.5, 1}}})
+	if !strings.Contains(out, "US") || !strings.Contains(out, "0.50") {
+		t.Errorf("heatmap = %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatPercent(-31.7) != "-32%" {
+		t.Errorf("FormatPercent = %q", FormatPercent(-31.7))
+	}
+	if FormatPercent(146) != "+146%" {
+		t.Errorf("FormatPercent = %q", FormatPercent(146))
+	}
+	if FormatP(0.0004) != "0.000**" {
+		t.Errorf("FormatP = %q", FormatP(0.0004))
+	}
+	if FormatP(0.03) != "0.030*" {
+		t.Errorf("FormatP = %q", FormatP(0.03))
+	}
+	if FormatP(0.4) != "0.400" {
+		t.Errorf("FormatP = %q", FormatP(0.4))
+	}
+	if formatCount(1500) != "2k" && formatCount(1500) != "1k" {
+		// %.0f rounds half to even; accept either neighbouring integer.
+		t.Errorf("formatCount(1500) = %q", formatCount(1500))
+	}
+	if formatCount(2.5e6) != "2.5M" {
+		t.Errorf("formatCount(2.5e6) = %q", formatCount(2.5e6))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package scrape
+
+import (
+	"fmt"
+	"math"
+
+	"booters/internal/stats"
+)
+
+// SpikeTest is the result of testing whether one week's churn events are a
+// significant spike over the background rate.
+type SpikeTest struct {
+	// Week is the tested collection week.
+	Week int
+	// Observed is the event count in the tested week.
+	Observed int
+	// BackgroundRate is the mean weekly event count over the other weeks.
+	BackgroundRate float64
+	// P is the one-sided Poisson tail probability of observing at least
+	// Observed events under the background rate.
+	P float64
+}
+
+// Significant reports whether the spike rejects the background rate at the
+// given level.
+func (s SpikeTest) Significant(level float64) bool { return s.P < level }
+
+// DeathSpikeTest tests whether the deaths recorded in the given week are a
+// significant spike over the background weekly death rate (all other
+// weeks), using an exact one-sided Poisson test. It quantifies Figure 8's
+// visual claim that the Webstresser and Xmas2018 weeks stand out.
+func DeathSpikeTest(churn []Churn, week int) (SpikeTest, error) {
+	if week < 0 || week >= len(churn) {
+		return SpikeTest{}, fmt.Errorf("scrape: DeathSpikeTest: week %d outside churn series of %d weeks", week, len(churn))
+	}
+	if len(churn) < 10 {
+		return SpikeTest{}, fmt.Errorf("scrape: DeathSpikeTest: need at least 10 weeks, have %d", len(churn))
+	}
+	var background float64
+	n := 0
+	for i, c := range churn {
+		if i == week {
+			continue
+		}
+		background += float64(c.Deaths)
+		n++
+	}
+	rate := background / float64(n)
+	obs := churn[week].Deaths
+
+	// One-sided Poisson tail: P(X >= obs) = GammaP(obs, rate).
+	p := 1.0
+	if obs > 0 {
+		var err error
+		p, err = stats.GammaP(float64(obs), rate)
+		if err != nil {
+			return SpikeTest{}, fmt.Errorf("scrape: DeathSpikeTest: %w", err)
+		}
+	}
+	return SpikeTest{Week: week, Observed: obs, BackgroundRate: rate, P: p}, nil
+}
+
+// MarketConcentration summarises provider-share structure over a window of
+// weekly per-site attack counts: the largest provider's share and the
+// Herfindahl-Hirschman index (sum of squared shares, 1 = monopoly).
+type MarketConcentration struct {
+	// TopShare is the largest provider's share of attacks in the window.
+	TopShare float64
+	// HHI is the Herfindahl-Hirschman index over provider shares.
+	HHI float64
+	// Providers is the number of providers serving any attacks.
+	Providers int
+}
+
+// Concentration computes market concentration over the weeks [from, to)
+// from the collected site histories. The paper uses this structure shift
+// (toward "a market dominated by a single booter") as evidence that
+// wide-ranging takedowns change the market, not just demand.
+func Concentration(sites []*SiteHistory, from, to int) MarketConcentration {
+	totals := make(map[string]float64)
+	var all float64
+	for _, h := range sites {
+		weekly := h.WeeklyAttacks()
+		for w := from; w < to && w < len(weekly); w++ {
+			if w < 0 {
+				continue
+			}
+			totals[h.Name] += weekly[w]
+			all += weekly[w]
+		}
+	}
+	var out MarketConcentration
+	if all == 0 {
+		return out
+	}
+	for _, v := range totals {
+		if v <= 0 {
+			continue
+		}
+		share := v / all
+		out.HHI += share * share
+		out.Providers++
+		if share > out.TopShare {
+			out.TopShare = share
+		}
+	}
+	return out
+}
+
+// ConcentrationShift compares market concentration before and after a
+// shock week (window weeks on each side, skipping the shock week itself).
+func ConcentrationShift(sites []*SiteHistory, shockWeek, window int) (before, after MarketConcentration) {
+	from := shockWeek - window
+	if from < 0 {
+		from = 0
+	}
+	before = Concentration(sites, from, shockWeek)
+	after = Concentration(sites, shockWeek+1, shockWeek+1+window)
+	return before, after
+}
+
+// GiniIndex computes the Gini coefficient of provider attack totals over a
+// window — another inequality view of the same structural change.
+func GiniIndex(sites []*SiteHistory, from, to int) float64 {
+	var totals []float64
+	for _, h := range sites {
+		weekly := h.WeeklyAttacks()
+		var sum float64
+		for w := from; w < to && w < len(weekly); w++ {
+			if w >= 0 {
+				sum += weekly[w]
+			}
+		}
+		if sum > 0 {
+			totals = append(totals, sum)
+		}
+	}
+	n := len(totals)
+	if n < 2 {
+		return 0
+	}
+	// Gini = sum_i sum_j |x_i - x_j| / (2 n^2 mean).
+	mean := stats.Mean(totals)
+	if mean == 0 {
+		return 0
+	}
+	var diff float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			diff += math.Abs(totals[i] - totals[j])
+		}
+	}
+	return diff / (2 * float64(n) * float64(n) * mean)
+}

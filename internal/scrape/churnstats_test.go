@@ -1,0 +1,165 @@
+package scrape
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// flatChurn builds a churn series with a constant background death rate and
+// one injected spike.
+func flatChurn(weeks, background, spikeWeek, spikeDeaths int) []Churn {
+	out := make([]Churn, weeks)
+	for i := range out {
+		out[i] = Churn{Week: i, Deaths: background}
+	}
+	out[spikeWeek].Deaths = spikeDeaths
+	return out
+}
+
+func TestDeathSpikeTestDetectsSpike(t *testing.T) {
+	churn := flatChurn(60, 3, 30, 20)
+	res, err := DeathSpikeTest(churn, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) {
+		t.Errorf("spike of 20 over rate 3 not significant: p = %g", res.P)
+	}
+	if res.Observed != 20 || math.Abs(res.BackgroundRate-3) > 1e-9 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestDeathSpikeTestQuietWeekNotSignificant(t *testing.T) {
+	churn := flatChurn(60, 3, 30, 3)
+	res, err := DeathSpikeTest(churn, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.05) {
+		t.Errorf("background week flagged as spike: p = %g", res.P)
+	}
+	// Zero deaths: p = 1.
+	churn[5].Deaths = 0
+	res, err = DeathSpikeTest(churn, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("zero-death week p = %v, want 1", res.P)
+	}
+}
+
+func TestDeathSpikeTestValidation(t *testing.T) {
+	churn := flatChurn(60, 3, 30, 20)
+	if _, err := DeathSpikeTest(churn, -1); err == nil {
+		t.Error("accepted negative week")
+	}
+	if _, err := DeathSpikeTest(churn, 60); err == nil {
+		t.Error("accepted out-of-range week")
+	}
+	if _, err := DeathSpikeTest(churn[:5], 2); err == nil {
+		t.Error("accepted short series")
+	}
+}
+
+// concSites builds per-site histories where one provider holds the given
+// share of a fixed weekly market.
+func concSites(weeks int, topShare float64, smallProviders int) []*SiteHistory {
+	const market = 10000.0
+	var sites []*SiteHistory
+	mk := func(name string, weekly float64) *SiteHistory {
+		h := &SiteHistory{Name: name}
+		var total float64
+		for w := 0; w < weeks; w++ {
+			total += weekly
+			h.Obs = append(h.Obs, Observation{Week: w, Up: true, Total: total})
+		}
+		return h
+	}
+	sites = append(sites, mk("top", market*topShare))
+	rest := market * (1 - topShare) / float64(smallProviders)
+	for i := 0; i < smallProviders; i++ {
+		sites = append(sites, mk(fmt.Sprintf("small-%d", i), rest))
+	}
+	return sites
+}
+
+func TestConcentrationShares(t *testing.T) {
+	sites := concSites(20, 0.6, 8)
+	c := Concentration(sites, 1, 20) // week 0 has no diff
+	if math.Abs(c.TopShare-0.6) > 0.01 {
+		t.Errorf("top share = %v, want 0.6", c.TopShare)
+	}
+	if c.Providers != 9 {
+		t.Errorf("providers = %d, want 9", c.Providers)
+	}
+	// HHI: 0.36 + 8*(0.05)^2 = 0.38.
+	if math.Abs(c.HHI-0.38) > 0.01 {
+		t.Errorf("HHI = %v, want ~0.38", c.HHI)
+	}
+	// Empty window.
+	if got := Concentration(sites, 50, 60); got.Providers != 0 {
+		t.Errorf("empty window = %+v", got)
+	}
+}
+
+func TestConcentrationShift(t *testing.T) {
+	// Before the shock: even market. After: one dominant provider.
+	weeks := 40
+	shock := 20
+	var sites []*SiteHistory
+	for i := 0; i < 5; i++ {
+		h := &SiteHistory{Name: fmt.Sprintf("p-%d", i)}
+		var total float64
+		for w := 0; w < weeks; w++ {
+			weekly := 100.0
+			if w > shock && i != 0 {
+				weekly = 10 // others collapse after the shock
+			}
+			total += weekly
+			h.Obs = append(h.Obs, Observation{Week: w, Up: true, Total: total})
+		}
+		sites = append(sites, h)
+	}
+	before, after := ConcentrationShift(sites, shock, 10)
+	if after.TopShare <= before.TopShare {
+		t.Errorf("concentration should rise: before %v, after %v", before.TopShare, after.TopShare)
+	}
+	if after.HHI <= before.HHI {
+		t.Errorf("HHI should rise: before %v, after %v", before.HHI, after.HHI)
+	}
+}
+
+func TestGiniIndex(t *testing.T) {
+	// Perfectly equal market: Gini ~ 0.
+	equal := concSites(20, 1.0/9.0, 8)
+	if g := GiniIndex(equal, 1, 20); g > 0.01 {
+		t.Errorf("equal market Gini = %v, want ~0", g)
+	}
+	// Highly unequal: Gini large.
+	unequal := concSites(20, 0.92, 8)
+	if g := GiniIndex(unequal, 1, 20); g < 0.5 {
+		t.Errorf("unequal market Gini = %v, want > 0.5", g)
+	}
+	// Degenerate inputs.
+	if g := GiniIndex(nil, 0, 10); g != 0 {
+		t.Errorf("nil sites Gini = %v", g)
+	}
+}
+
+func TestGiniMonotoneInConcentrationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prev := -1.0
+	for _, share := range []float64{0.2, 0.4, 0.6, 0.8} {
+		sites := concSites(20, share, 8)
+		g := GiniIndex(sites, 1, 20)
+		if g < prev {
+			t.Errorf("Gini not monotone in top share: %v after %v", g, prev)
+		}
+		prev = g
+		_ = rng
+	}
+}

@@ -1,0 +1,200 @@
+package scrape
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	body := RenderPage("superstresser", 4821, 917263)
+	users, attacks, err := ParsePage(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users != 4821 || attacks != 917263 {
+		t.Errorf("parsed %d/%d", users, attacks)
+	}
+}
+
+func TestParsePageRejectsGarbage(t *testing.T) {
+	if _, _, err := ParsePage("<html>nothing here</html>"); err == nil {
+		t.Error("accepted page without counters")
+	}
+}
+
+func TestParsePageRoundTripProperty(t *testing.T) {
+	f := func(u, a uint32) bool {
+		body := RenderPage("x", int64(u), int64(a))
+		users, attacks, err := ParsePage(body)
+		return err == nil && users == int64(u) && attacks == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeeklyAttacksDifferencesCumulative(t *testing.T) {
+	h := &SiteHistory{Name: "b", Obs: []Observation{
+		{Week: 0, Up: true, Total: 100},
+		{Week: 1, Up: true, Total: 150},
+		{Week: 2, Up: true, Total: 150},
+		{Week: 3, Up: false},
+		{Week: 4, Up: true, Total: 220},
+	}}
+	got := h.WeeklyAttacks()
+	want := []float64{0, 50, 0, 0, 70}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("week %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWeeklyAttacksHandlesWipes(t *testing.T) {
+	h := &SiteHistory{Name: "w", Obs: []Observation{
+		{Week: 0, Up: true, Total: 500},
+		{Week: 1, Up: true, Total: 0},   // database wiped
+		{Week: 2, Up: true, Total: 120}, // counting again
+	}}
+	got := h.WeeklyAttacks()
+	if got[1] != 0 {
+		t.Errorf("wipe week diff = %v, want 0 (never negative)", got[1])
+	}
+	if got[2] != 120 {
+		t.Errorf("post-wipe diff = %v, want 120", got[2])
+	}
+}
+
+func TestWeeklyAttacksNeverNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := &SiteHistory{Name: "p"}
+		total := 0.0
+		for w := 0; w < 60; w++ {
+			up := rng.Float64() < 0.85
+			if up {
+				if rng.Float64() < 0.05 {
+					total = 0 // wipe
+				}
+				total += float64(rng.Intn(500))
+			}
+			h.Obs = append(h.Obs, Observation{Week: w, Up: up, Total: total})
+		}
+		for _, v := range h.WeeklyAttacks() {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChurnSeriesLifecycle(t *testing.T) {
+	sites := []*SiteHistory{
+		{Name: "a", Obs: []Observation{
+			{Week: 0, Up: true, Total: 1},
+			{Week: 1, Up: true, Total: 2},
+			{Week: 2, Up: false},
+			{Week: 3, Up: true, Total: 3}, // resurrection
+		}},
+		{Name: "b", Obs: []Observation{
+			{Week: 0, Up: false},
+			{Week: 1, Up: true, Total: 1}, // born week 1
+			{Week: 2, Up: false},          // death week 2
+			{Week: 3, Up: false},
+		}},
+	}
+	churn := ChurnSeries(sites, 4)
+	if churn[0].Births != 1 || churn[1].Births != 1 {
+		t.Errorf("births = %+v", churn)
+	}
+	if churn[2].Deaths != 2 {
+		t.Errorf("week 2 deaths = %d, want 2", churn[2].Deaths)
+	}
+	if churn[3].Resurrections != 1 {
+		t.Errorf("week 3 resurrections = %d, want 1", churn[3].Resurrections)
+	}
+}
+
+// genuineSeries builds a plausible genuine weekly history: rising counts
+// with level-proportional noise (heteroskedastic, roughly normal).
+func genuineSeries(n int, seed int64) *SiteHistory {
+	rng := rand.New(rand.NewSource(seed))
+	h := &SiteHistory{Name: "genuine"}
+	total := 0.0
+	for w := 0; w < n; w++ {
+		level := 500 + 12*float64(w)
+		weekly := level + rng.NormFloat64()*level*0.2
+		if weekly < 1 {
+			weekly = 1
+		}
+		total += math.Round(weekly)
+		h.Obs = append(h.Obs, Observation{Week: w, Up: true, Total: total})
+	}
+	return h
+}
+
+func TestScreenAcceptsGenuineSeries(t *testing.T) {
+	res := Screen(genuineSeries(80, 42), 20)
+	if res.Excluded {
+		t.Errorf("genuine series excluded: %s", res.Reason)
+	}
+	if res.SuspiciousDivisor > 1 {
+		t.Errorf("genuine series flagged divisor %d", res.SuspiciousDivisor)
+	}
+	if !res.PlausiblyGenuine() {
+		t.Errorf("genuine series rejected (White p=%.3f ok=%v, SK p=%.3f ok=%v)",
+			res.White.P, res.WhiteOK, res.SK.P, res.SKOK)
+	}
+}
+
+func TestScreenCatchesMultiplesOf1000(t *testing.T) {
+	h := &SiteHistory{Name: "faker"}
+	total := 0.0
+	rng := rand.New(rand.NewSource(7))
+	for w := 0; w < 40; w++ {
+		total += float64(1000 * (1 + rng.Intn(20)))
+		h.Obs = append(h.Obs, Observation{Week: w, Up: true, Total: total})
+	}
+	res := Screen(h, 20)
+	if !res.Excluded {
+		t.Error("multiples-of-1000 series not excluded")
+	}
+	if res.PlausiblyGenuine() {
+		t.Error("excluded series still marked genuine")
+	}
+}
+
+func TestScreenCatchesPrimeMultiplier(t *testing.T) {
+	// A faker multiplying a hidden counter by 7: every weekly value is
+	// divisible by 7.
+	h := &SiteHistory{Name: "mult7"}
+	total := 0.0
+	rng := rand.New(rand.NewSource(9))
+	for w := 0; w < 40; w++ {
+		total += float64(7 * (100 + rng.Intn(300)))
+		h.Obs = append(h.Obs, Observation{Week: w, Up: true, Total: total})
+	}
+	res := Screen(h, 20)
+	if res.SuspiciousDivisor != 7 {
+		t.Errorf("divisor = %d, want 7", res.SuspiciousDivisor)
+	}
+	if res.PlausiblyGenuine() {
+		t.Error("multiplier series marked genuine")
+	}
+}
+
+func TestScreenShortSeriesNotTested(t *testing.T) {
+	res := Screen(genuineSeries(10, 3), 20)
+	if res.WhiteOK || res.SKOK {
+		t.Error("statistical tests ran on a series below the minimum run")
+	}
+	if res.PlausiblyGenuine() {
+		t.Error("untestable series should not be marked genuine")
+	}
+}

@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator) of xs, or
+// NaN if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// PopVariance returns the population variance (n denominator) of xs, or NaN
+// if xs is empty.
+func PopVariance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Skewness returns the sample skewness g1 = m3 / m2^{3/2} (moment
+// definition, n denominators), or NaN if len(xs) < 3 or the variance is 0.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 3 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - m
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return math.NaN()
+	}
+	return m3 / math.Pow(m2, 1.5)
+}
+
+// Kurtosis returns the sample kurtosis g2 = m4/m2^2 (moment definition; the
+// normal distribution has kurtosis 3), or NaN if len(xs) < 4 or the
+// variance is 0.
+func Kurtosis(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return math.NaN()
+	}
+	return m4 / (m2 * m2)
+}
+
+// Quantile returns the p-quantile of xs using linear interpolation between
+// order statistics (type 7, the R default). It returns NaN for empty input
+// or p outside [0, 1].
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	h := p * float64(len(sorted)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Correlation returns the Pearson correlation coefficient between xs and
+// ys, or NaN if the lengths differ, len < 2, or either series is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CorrelationMatrix returns the len(series) x len(series) matrix of pairwise
+// Pearson correlations. Diagonal entries are 1 when a series is
+// non-constant, NaN otherwise.
+func CorrelationMatrix(series [][]float64) *Dense {
+	k := len(series)
+	m := NewDense(k, k)
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			var r float64
+			if i == j {
+				if len(series[i]) >= 2 && PopVariance(series[i]) > 0 {
+					r = 1
+				} else {
+					r = math.NaN()
+				}
+			} else {
+				r = Correlation(series[i], series[j])
+			}
+			m.Set(i, j, r)
+			m.Set(j, i, r)
+		}
+	}
+	return m
+}

@@ -1,0 +1,434 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a univariate probability distribution.
+type Dist interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Mean returns the expectation of the distribution.
+	Mean() float64
+	// Variance returns the variance of the distribution.
+	Variance() float64
+}
+
+// ContinuousDist is a distribution with a density and quantile function.
+type ContinuousDist interface {
+	Dist
+	// PDF returns the density at x.
+	PDF(x float64) float64
+	// Quantile returns the smallest x with CDF(x) >= p.
+	Quantile(p float64) float64
+}
+
+// DiscreteDist is an integer-supported distribution.
+type DiscreteDist interface {
+	Dist
+	// PMF returns P(X = k).
+	PMF(k int) float64
+	// LogPMF returns ln P(X = k).
+	LogPMF(k int) float64
+}
+
+// Normal is the normal distribution with mean Mu and standard deviation
+// Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the normal density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return NormalPDF(z) / n.Sigma
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 { return NormalCDF((x - n.Mu) / n.Sigma) }
+
+// Quantile returns the p-quantile of the distribution.
+func (n Normal) Quantile(p float64) float64 {
+	z, err := NormalQuantile(p)
+	if err != nil {
+		return math.NaN()
+	}
+	return n.Mu + n.Sigma*z
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns Sigma^2.
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// Rand draws a variate using rng.
+func (n Normal) Rand(rng *rand.Rand) float64 { return n.Mu + n.Sigma*rng.NormFloat64() }
+
+// ChiSquared is the chi-squared distribution with K degrees of freedom.
+type ChiSquared struct {
+	K float64
+}
+
+// PDF returns the chi-squared density at x.
+func (c ChiSquared) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	k2 := c.K / 2
+	return math.Exp((k2-1)*math.Log(x) - x/2 - k2*math.Ln2 - Lgamma(k2))
+}
+
+// CDF returns P(X <= x) via the regularized incomplete gamma function.
+func (c ChiSquared) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	p, err := GammaP(c.K/2, x/2)
+	if err != nil {
+		return math.NaN()
+	}
+	return p
+}
+
+// SF returns the survival function P(X > x); the p-value of a chi-squared
+// statistic.
+func (c ChiSquared) SF(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	q, err := GammaQ(c.K/2, x/2)
+	if err != nil {
+		return math.NaN()
+	}
+	return q
+}
+
+// Quantile returns the p-quantile by bisection on the CDF.
+func (c ChiSquared) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return invertCDF(c.CDF, p, 0, c.K+20*math.Sqrt(2*c.K)+20)
+}
+
+// Mean returns K.
+func (c ChiSquared) Mean() float64 { return c.K }
+
+// Variance returns 2K.
+func (c ChiSquared) Variance() float64 { return 2 * c.K }
+
+// StudentT is Student's t distribution with Nu degrees of freedom.
+type StudentT struct {
+	Nu float64
+}
+
+// PDF returns the t density at x.
+func (t StudentT) PDF(x float64) float64 {
+	nu := t.Nu
+	lg := Lgamma((nu+1)/2) - Lgamma(nu/2) - 0.5*math.Log(nu*math.Pi)
+	return math.Exp(lg - (nu+1)/2*math.Log(1+x*x/nu))
+}
+
+// CDF returns P(X <= x) via the incomplete beta function.
+func (t StudentT) CDF(x float64) float64 {
+	if x == 0 {
+		return 0.5
+	}
+	v, err := Betainc(t.Nu/2, 0.5, t.Nu/(t.Nu+x*x))
+	if err != nil {
+		return math.NaN()
+	}
+	if x > 0 {
+		return 1 - v/2
+	}
+	return v / 2
+}
+
+// Quantile returns the p-quantile by bisection.
+func (t StudentT) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p == 0.5 {
+		return 0
+	}
+	return invertCDF(t.CDF, p, -1e8, 1e8)
+}
+
+// Mean returns 0 for Nu > 1, NaN otherwise.
+func (t StudentT) Mean() float64 {
+	if t.Nu > 1 {
+		return 0
+	}
+	return math.NaN()
+}
+
+// Variance returns Nu/(Nu-2) for Nu > 2, NaN otherwise.
+func (t StudentT) Variance() float64 {
+	if t.Nu > 2 {
+		return t.Nu / (t.Nu - 2)
+	}
+	return math.NaN()
+}
+
+// Gamma is the gamma distribution with shape Alpha and rate Beta
+// (mean Alpha/Beta).
+type Gamma struct {
+	Alpha float64
+	Beta  float64
+}
+
+// PDF returns the gamma density at x.
+func (g Gamma) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Exp(g.Alpha*math.Log(g.Beta) + (g.Alpha-1)*math.Log(x) - g.Beta*x - Lgamma(g.Alpha))
+}
+
+// CDF returns P(X <= x).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	p, err := GammaP(g.Alpha, g.Beta*x)
+	if err != nil {
+		return math.NaN()
+	}
+	return p
+}
+
+// Quantile returns the p-quantile by bisection.
+func (g Gamma) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	hi := (g.Alpha + 20*math.Sqrt(g.Alpha) + 20) / g.Beta
+	return invertCDF(g.CDF, p, 0, hi)
+}
+
+// Mean returns Alpha/Beta.
+func (g Gamma) Mean() float64 { return g.Alpha / g.Beta }
+
+// Variance returns Alpha/Beta^2.
+func (g Gamma) Variance() float64 { return g.Alpha / (g.Beta * g.Beta) }
+
+// Rand draws a gamma variate using the Marsaglia–Tsang method.
+func (g Gamma) Rand(rng *rand.Rand) float64 {
+	a := g.Alpha
+	boost := 1.0
+	if a < 1 {
+		// Gamma(a) = Gamma(a+1) * U^{1/a}
+		boost = math.Pow(rng.Float64(), 1/a)
+		a++
+	}
+	d := a - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = rng.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v / g.Beta
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return boost * d * v / g.Beta
+		}
+	}
+}
+
+// Poisson is the Poisson distribution with mean Lambda.
+type Poisson struct {
+	Lambda float64
+}
+
+// PMF returns P(X = k).
+func (p Poisson) PMF(k int) float64 { return math.Exp(p.LogPMF(k)) }
+
+// LogPMF returns ln P(X = k).
+func (p Poisson) LogPMF(k int) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	fk := float64(k)
+	return fk*math.Log(p.Lambda) - p.Lambda - Lgamma(fk+1)
+}
+
+// CDF returns P(X <= x) = Q(floor(x)+1, lambda).
+func (p Poisson) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	k := math.Floor(x)
+	q, err := GammaQ(k+1, p.Lambda)
+	if err != nil {
+		return math.NaN()
+	}
+	return q
+}
+
+// Mean returns Lambda.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// Variance returns Lambda.
+func (p Poisson) Variance() float64 { return p.Lambda }
+
+// Rand draws a Poisson variate. Knuth's method is used for small means and
+// the PTRS transformed-rejection method of Hörmann for large means.
+func (p Poisson) Rand(rng *rand.Rand) int {
+	if p.Lambda <= 0 {
+		return 0
+	}
+	if p.Lambda < 30 {
+		l := math.Exp(-p.Lambda)
+		k := 0
+		prod := rng.Float64()
+		for prod > l {
+			k++
+			prod *= rng.Float64()
+		}
+		return k
+	}
+	return poissonPTRS(p.Lambda, rng)
+}
+
+// poissonPTRS implements Hörmann's PTRS sampler for lambda >= 10.
+func poissonPTRS(lambda float64, rng *rand.Rand) int {
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-Lgamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+// NegBinomial is the NB2 negative binomial distribution parameterised by
+// mean Mu and dispersion Alpha, so that Var(X) = Mu + Alpha*Mu^2. Alpha -> 0
+// recovers the Poisson distribution. This is the parameterisation used by
+// the paper's regression model (Stata nbreg).
+type NegBinomial struct {
+	Mu    float64
+	Alpha float64
+}
+
+// NewNegBinomial validates and constructs a NegBinomial.
+func NewNegBinomial(mu, alpha float64) (NegBinomial, error) {
+	if mu <= 0 || alpha < 0 {
+		return NegBinomial{}, fmt.Errorf("stats: invalid NB parameters mu=%v alpha=%v: %w", mu, alpha, ErrDomain)
+	}
+	return NegBinomial{Mu: mu, Alpha: alpha}, nil
+}
+
+// size returns the NB "size" parameter r = 1/alpha.
+func (nb NegBinomial) size() float64 { return 1 / nb.Alpha }
+
+// LogPMF returns ln P(X = k).
+func (nb NegBinomial) LogPMF(k int) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	if nb.Alpha == 0 {
+		return Poisson{Lambda: nb.Mu}.LogPMF(k)
+	}
+	r := nb.size()
+	fk := float64(k)
+	p := r / (r + nb.Mu) // success probability
+	return Lgamma(fk+r) - Lgamma(r) - Lgamma(fk+1) + r*math.Log(p) + fk*math.Log(1-p)
+}
+
+// PMF returns P(X = k).
+func (nb NegBinomial) PMF(k int) float64 { return math.Exp(nb.LogPMF(k)) }
+
+// CDF returns P(X <= x) via the incomplete beta function.
+func (nb NegBinomial) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if nb.Alpha == 0 {
+		return Poisson{Lambda: nb.Mu}.CDF(x)
+	}
+	k := math.Floor(x)
+	r := nb.size()
+	p := r / (r + nb.Mu)
+	v, err := Betainc(r, k+1, p)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// Mean returns Mu.
+func (nb NegBinomial) Mean() float64 { return nb.Mu }
+
+// Variance returns Mu + Alpha*Mu^2.
+func (nb NegBinomial) Variance() float64 { return nb.Mu + nb.Alpha*nb.Mu*nb.Mu }
+
+// Rand draws an NB variate as a gamma-mixed Poisson: X | G ~ Poisson(G) with
+// G ~ Gamma(1/alpha, 1/(alpha*mu)).
+func (nb NegBinomial) Rand(rng *rand.Rand) int {
+	if nb.Alpha == 0 {
+		return Poisson{Lambda: nb.Mu}.Rand(rng)
+	}
+	r := nb.size()
+	g := Gamma{Alpha: r, Beta: r / nb.Mu}.Rand(rng)
+	return Poisson{Lambda: g}.Rand(rng)
+}
+
+// invertCDF finds the p-quantile of a monotone CDF by bisection on [lo, hi].
+func invertCDF(cdf func(float64) float64, p, lo, hi float64) float64 {
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if cdf(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+var (
+	_ ContinuousDist = Normal{}
+	_ ContinuousDist = ChiSquared{}
+	_ ContinuousDist = StudentT{}
+	_ ContinuousDist = Gamma{}
+	_ DiscreteDist   = Poisson{}
+	_ DiscreteDist   = NegBinomial{}
+)

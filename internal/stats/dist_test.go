@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalDist(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 2}
+	approx(t, "mean", n.Mean(), 3, 0)
+	approx(t, "var", n.Variance(), 4, 0)
+	approx(t, "CDF(mu)", n.CDF(3), 0.5, 1e-15)
+	approx(t, "PDF(mu)", n.PDF(3), 1/(2*math.Sqrt(2*math.Pi)), 1e-12)
+	approx(t, "Quantile(0.975)", n.Quantile(0.975), 3+2*1.959963984540054, 1e-10)
+}
+
+func TestChiSquaredKnownValues(t *testing.T) {
+	// chi2(2) has CDF 1 - exp(-x/2).
+	c := ChiSquared{K: 2}
+	for _, x := range []float64{0.5, 1, 3, 5.991464547107979} {
+		approx(t, "chi2(2) CDF", c.CDF(x), 1-math.Exp(-x/2), 1e-12)
+	}
+	// 95th percentile of chi2(2) is 5.9915.
+	approx(t, "chi2(2) q95", c.Quantile(0.95), 5.991464547107979, 1e-8)
+	// SF + CDF = 1.
+	approx(t, "chi2 SF", c.SF(3)+c.CDF(3), 1, 1e-12)
+	if got := c.CDF(-1); got != 0 {
+		t.Errorf("CDF(-1) = %v, want 0", got)
+	}
+}
+
+func TestStudentTKnownValues(t *testing.T) {
+	// t(1) is Cauchy: CDF(x) = 1/2 + atan(x)/pi.
+	d := StudentT{Nu: 1}
+	for _, x := range []float64{-3, -1, 0, 0.5, 2} {
+		approx(t, "t(1) CDF", d.CDF(x), 0.5+math.Atan(x)/math.Pi, 1e-10)
+	}
+	// t(inf-ish) approaches normal.
+	big := StudentT{Nu: 1e6}
+	approx(t, "t(1e6) CDF(1.96)", big.CDF(1.96), NormalCDF(1.96), 1e-5)
+	// Quantile round trip.
+	d5 := StudentT{Nu: 5}
+	q := d5.Quantile(0.975)
+	approx(t, "t(5) q(0.975)", q, 2.570581835636197, 1e-8)
+}
+
+func TestGammaDistKnownValues(t *testing.T) {
+	// Gamma(1, b) is Exponential(b).
+	g := Gamma{Alpha: 1, Beta: 2}
+	for _, x := range []float64{0.1, 0.5, 1, 3} {
+		approx(t, "gamma CDF", g.CDF(x), 1-math.Exp(-2*x), 1e-12)
+	}
+	approx(t, "gamma mean", g.Mean(), 0.5, 0)
+	approx(t, "gamma var", g.Variance(), 0.25, 0)
+}
+
+func TestGammaRandMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, g := range []Gamma{{Alpha: 0.5, Beta: 1}, {Alpha: 2, Beta: 3}, {Alpha: 9, Beta: 0.5}} {
+		const n = 200000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := g.Rand(rng)
+			if v < 0 {
+				t.Fatalf("gamma sample %v < 0", v)
+			}
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		varr := sum2/n - mean*mean
+		approx(t, "gamma sample mean", mean, g.Mean(), 0.02)
+		approx(t, "gamma sample var", varr, g.Variance(), 0.05)
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lam := range []float64{0.5, 3, 12} {
+		p := Poisson{Lambda: lam}
+		var sum float64
+		for k := 0; k < 200; k++ {
+			sum += p.PMF(k)
+		}
+		approx(t, "poisson pmf sum", sum, 1, 1e-10)
+	}
+}
+
+func TestPoissonCDFMatchesPMF(t *testing.T) {
+	p := Poisson{Lambda: 4.2}
+	var cum float64
+	for k := 0; k < 30; k++ {
+		cum += p.PMF(k)
+		approx(t, "poisson CDF", p.CDF(float64(k)), cum, 1e-9)
+	}
+}
+
+func TestPoissonRandMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Cover both the Knuth (< 30) and PTRS (>= 30) paths.
+	for _, lam := range []float64{2, 25, 80, 400} {
+		p := Poisson{Lambda: lam}
+		const n = 100000
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			v := float64(p.Rand(rng))
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / n
+		varr := sum2/n - mean*mean
+		approx(t, "poisson sample mean", mean, lam, 0.02)
+		approx(t, "poisson sample var", varr, lam, 0.05)
+	}
+}
+
+func TestNegBinomialPMFSumsToOne(t *testing.T) {
+	nb := NegBinomial{Mu: 10, Alpha: 0.3}
+	var sum float64
+	for k := 0; k < 2000; k++ {
+		sum += nb.PMF(k)
+	}
+	approx(t, "nb pmf sum", sum, 1, 1e-9)
+}
+
+func TestNegBinomialMoments(t *testing.T) {
+	nb := NegBinomial{Mu: 7, Alpha: 0.5}
+	approx(t, "nb mean", nb.Mean(), 7, 0)
+	approx(t, "nb var", nb.Variance(), 7+0.5*49, 0)
+	// Variance always exceeds the Poisson variance (overdispersion).
+	f := func(rm, ra float64) bool {
+		mu := math.Mod(math.Abs(rm), 100) + 0.1
+		alpha := math.Mod(math.Abs(ra), 5) + 1e-6
+		nb := NegBinomial{Mu: mu, Alpha: alpha}
+		return nb.Variance() > Poisson{Lambda: mu}.Variance()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegBinomialPoissonLimit(t *testing.T) {
+	// As alpha -> 0 the NB PMF approaches the Poisson PMF.
+	p := Poisson{Lambda: 6}
+	nb := NegBinomial{Mu: 6, Alpha: 1e-10}
+	for k := 0; k < 25; k++ {
+		approx(t, "nb->poisson", nb.PMF(k), p.PMF(k), 1e-5)
+	}
+	// alpha == 0 delegates exactly.
+	nb0 := NegBinomial{Mu: 6, Alpha: 0}
+	for k := 0; k < 25; k++ {
+		approx(t, "nb alpha=0", nb0.PMF(k), p.PMF(k), 1e-14)
+	}
+}
+
+func TestNegBinomialCDFMatchesPMF(t *testing.T) {
+	nb := NegBinomial{Mu: 5, Alpha: 0.8}
+	var cum float64
+	for k := 0; k < 60; k++ {
+		cum += nb.PMF(k)
+		approx(t, "nb CDF", nb.CDF(float64(k)), cum, 1e-8)
+	}
+}
+
+func TestNegBinomialRandMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	nb := NegBinomial{Mu: 50, Alpha: 0.2}
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := float64(nb.Rand(rng))
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	varr := sum2/n - mean*mean
+	approx(t, "nb sample mean", mean, nb.Mean(), 0.02)
+	approx(t, "nb sample var", varr, nb.Variance(), 0.05)
+}
+
+func TestNewNegBinomialValidation(t *testing.T) {
+	if _, err := NewNegBinomial(-1, 0.5); err == nil {
+		t.Error("NewNegBinomial(-1, 0.5): want error")
+	}
+	if _, err := NewNegBinomial(1, -0.5); err == nil {
+		t.Error("NewNegBinomial(1, -0.5): want error")
+	}
+	if _, err := NewNegBinomial(1, 0.5); err != nil {
+		t.Errorf("NewNegBinomial(1, 0.5): unexpected error %v", err)
+	}
+}
+
+func TestCDFMonotonicityProperty(t *testing.T) {
+	dists := []Dist{
+		Normal{Mu: 0, Sigma: 1},
+		ChiSquared{K: 3},
+		StudentT{Nu: 4},
+		Gamma{Alpha: 2, Beta: 1},
+		Poisson{Lambda: 5},
+		NegBinomial{Mu: 5, Alpha: 0.5},
+	}
+	f := func(ra, rb float64) bool {
+		a := math.Mod(ra, 50)
+		b := math.Mod(rb, 50)
+		if a > b {
+			a, b = b, a
+		}
+		for _, d := range dists {
+			if d.CDF(a) > d.CDF(b)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,320 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64. The zero value is an empty
+// matrix; use NewDense to allocate.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r x c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("stats: NewDense(%d, %d): negative dimension", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// DenseFromRows builds a matrix from a slice of equal-length rows.
+func DenseFromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			return nil, fmt.Errorf("stats: DenseFromRows: row %d has %d columns, want %d", i, len(row), c)
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m, nil
+}
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("stats: Mul: dimension mismatch (%dx%d)*(%dx%d)", a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m*v.
+func (m *Dense) MulVec(v []float64) ([]float64, error) {
+	if m.cols != len(v) {
+		return nil, fmt.Errorf("stats: MulVec: dimension mismatch (%dx%d)*(%d)", m.rows, m.cols, len(v))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// XtWX returns Xᵀ diag(w) X for design matrix x and weights w. If w is nil
+// the identity weighting is used.
+func XtWX(x *Dense, w []float64) (*Dense, error) {
+	if w != nil && len(w) != x.rows {
+		return nil, fmt.Errorf("stats: XtWX: weight length %d != rows %d", len(w), x.rows)
+	}
+	p := x.cols
+	out := NewDense(p, p)
+	for i := 0; i < x.rows; i++ {
+		wi := 1.0
+		if w != nil {
+			wi = w[i]
+		}
+		row := x.data[i*p : (i+1)*p]
+		for a := 0; a < p; a++ {
+			va := wi * row[a]
+			if va == 0 {
+				continue
+			}
+			orow := out.data[a*p : (a+1)*p]
+			for b := a; b < p; b++ {
+				orow[b] += va * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 0; a < p; a++ {
+		for b := a + 1; b < p; b++ {
+			out.Set(b, a, out.At(a, b))
+		}
+	}
+	return out, nil
+}
+
+// XtWy returns Xᵀ diag(w) y. If w is nil the identity weighting is used.
+func XtWy(x *Dense, w, y []float64) ([]float64, error) {
+	if len(y) != x.rows {
+		return nil, fmt.Errorf("stats: XtWy: y length %d != rows %d", len(y), x.rows)
+	}
+	if w != nil && len(w) != x.rows {
+		return nil, fmt.Errorf("stats: XtWy: weight length %d != rows %d", len(w), x.rows)
+	}
+	p := x.cols
+	out := make([]float64, p)
+	for i := 0; i < x.rows; i++ {
+		wy := y[i]
+		if w != nil {
+			wy *= w[i]
+		}
+		if wy == 0 {
+			continue
+		}
+		row := x.data[i*p : (i+1)*p]
+		for j, xv := range row {
+			out[j] += xv * wy
+		}
+	}
+	return out, nil
+}
+
+// Cholesky computes the lower-triangular Cholesky factor L with A = L Lᵀ for
+// a symmetric positive definite matrix A. It returns an error if A is not
+// square or not (numerically) positive definite.
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("stats: Cholesky: matrix is %dx%d, want square", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("stats: Cholesky: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A (A = L Lᵀ)
+// by forward then backward substitution.
+func SolveCholesky(l *Dense, b []float64) ([]float64, error) {
+	n := l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("stats: SolveCholesky: b length %d != n %d", len(b), n)
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves A x = b for symmetric positive definite A, adding a small
+// ridge to the diagonal and retrying if A is near-singular. The ridge starts
+// at 1e-10 times the mean diagonal magnitude and grows by 10x up to 8 times
+// before giving up.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err == nil {
+		return SolveCholesky(l, b)
+	}
+	n := a.rows
+	var diagMean float64
+	for i := 0; i < n; i++ {
+		diagMean += math.Abs(a.At(i, i))
+	}
+	diagMean /= float64(n)
+	if diagMean == 0 {
+		diagMean = 1
+	}
+	ridge := 1e-10 * diagMean
+	for try := 0; try < 8; try++ {
+		ar := a.Clone()
+		for i := 0; i < n; i++ {
+			ar.Set(i, i, ar.At(i, i)+ridge)
+		}
+		if l, err = Cholesky(ar); err == nil {
+			return SolveCholesky(l, b)
+		}
+		ridge *= 10
+	}
+	return nil, fmt.Errorf("stats: SolveSPD: matrix singular even with ridge: %w", err)
+}
+
+// InverseSPD returns the inverse of a symmetric positive definite matrix via
+// its Cholesky factorisation (with ridge fallback as in SolveSPD).
+func InverseSPD(a *Dense) (*Dense, error) {
+	n := a.rows
+	if n != a.cols {
+		return nil, fmt.Errorf("stats: InverseSPD: matrix is %dx%d, want square", a.rows, a.cols)
+	}
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := SolveSPD(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between a
+// and b, or +Inf if their shapes differ.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.rows != b.rows || a.cols != b.cols {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(a.data[i] - b.data[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive definite matrix A = B Bᵀ + cI.
+func randomSPD(n int, rng *rand.Rand) *Dense {
+	b := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	bt := b.T()
+	a, _ := Mul(b, bt)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+0.5)
+	}
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		lt := l.T()
+		rec, err := Mul(l, lt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(a, rec); d > 1e-9 {
+			t.Errorf("trial %d: ||A - LLᵀ|| = %g", trial, d)
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a, _ := DenseFromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err == nil {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+	b := NewDense(2, 3)
+	if _, err := Cholesky(b); err == nil {
+		t.Error("Cholesky accepted a non-square matrix")
+	}
+}
+
+func TestSolveSPDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(n, rng)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveSPD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				t.Errorf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverseSPDIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		a := randomSPD(n, rng)
+		inv, err := InverseSPD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prod, err := Mul(a, inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(prod, Identity(n)); d > 1e-7 {
+			t.Errorf("trial %d: ||A A⁻¹ - I|| = %g", trial, d)
+		}
+	}
+}
+
+func TestXtWXMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, p := 20, 4
+	x := NewDense(n, p)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = rng.Float64() + 0.1
+		for j := 0; j < p; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	got, err := XtWX(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive: Xᵀ diag(w) X.
+	want := NewDense(p, p)
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += x.At(i, a) * w[i] * x.At(i, b)
+			}
+			want.Set(a, b, s)
+		}
+	}
+	if d := MaxAbsDiff(got, want); d > 1e-10 {
+		t.Errorf("XtWX differs from naive by %g", d)
+	}
+	// nil weights = identity.
+	got1, err := XtWX(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	got2, _ := XtWX(x, ones)
+	if d := MaxAbsDiff(got1, got2); d > 1e-12 {
+		t.Errorf("XtWX(nil) differs from unit weights by %g", d)
+	}
+}
+
+func TestXtWyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, p := 15, 3
+	x := NewDense(n, p)
+	w := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = rng.Float64() + 0.1
+		y[i] = rng.NormFloat64()
+		for j := 0; j < p; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+	}
+	got, err := XtWy(x, w, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < p; j++ {
+		var want float64
+		for i := 0; i < n; i++ {
+			want += x.At(i, j) * w[i] * y[i]
+		}
+		if math.Abs(got[j]-want) > 1e-10 {
+			t.Errorf("XtWy[%d] = %g, want %g", j, got[j], want)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return MaxAbsDiff(m, m.T().T()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenseFromRowsValidation(t *testing.T) {
+	if _, err := DenseFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("DenseFromRows accepted ragged rows")
+	}
+	m, err := DenseFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := DenseFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := m.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v", col)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage with original")
+	}
+	// Mutating returned Row must not affect m.
+	row[0] = -1
+	if m.At(1, 0) == -1 {
+		t.Error("Row shares storage with matrix")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewDense(2, 3)
+	b := NewDense(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Error("Mul accepted mismatched dimensions")
+	}
+	if _, err := a.MulVec([]float64{1, 2}); err == nil {
+		t.Error("MulVec accepted mismatched vector")
+	}
+}

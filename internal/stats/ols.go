@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// OLSResult holds the output of an ordinary least squares fit of
+// y = X beta + eps.
+type OLSResult struct {
+	// Coef is the estimated coefficient vector (length = columns of X).
+	Coef []float64
+	// SE is the classical (homoskedastic) standard error of each coefficient.
+	SE []float64
+	// RobustSE is the heteroskedasticity-consistent (White/HC0) standard
+	// error of each coefficient.
+	RobustSE []float64
+	// Fitted is X * Coef.
+	Fitted []float64
+	// Resid is y - Fitted.
+	Resid []float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// AdjR2 is R2 adjusted for the number of regressors.
+	AdjR2 float64
+	// Sigma2 is the residual variance estimate (SSR / (n - p)).
+	Sigma2 float64
+	// N is the number of observations and P the number of regressors.
+	N, P int
+}
+
+// OLS fits y = X beta + eps by ordinary least squares. X must include an
+// intercept column if one is wanted. It returns an error when the problem is
+// degenerate (n <= p, or XtX singular beyond ridge repair).
+func OLS(x *Dense, y []float64) (*OLSResult, error) {
+	n, p := x.Dims()
+	if len(y) != n {
+		return nil, fmt.Errorf("stats: OLS: y length %d != rows %d", len(y), n)
+	}
+	if n <= p {
+		return nil, fmt.Errorf("stats: OLS: n=%d observations with p=%d regressors", n, p)
+	}
+	xtx, err := XtWX(x, nil)
+	if err != nil {
+		return nil, err
+	}
+	xty, err := XtWy(x, nil, y)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := SolveSPD(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS: %w", err)
+	}
+	fitted, err := x.MulVec(beta)
+	if err != nil {
+		return nil, err
+	}
+	resid := make([]float64, n)
+	var ssr float64
+	for i := range y {
+		resid[i] = y[i] - fitted[i]
+		ssr += resid[i] * resid[i]
+	}
+	sigma2 := ssr / float64(n-p)
+
+	xtxInv, err := InverseSPD(xtx)
+	if err != nil {
+		return nil, fmt.Errorf("stats: OLS covariance: %w", err)
+	}
+	se := make([]float64, p)
+	for j := 0; j < p; j++ {
+		se[j] = math.Sqrt(sigma2 * xtxInv.At(j, j))
+	}
+
+	// White/HC0 sandwich: (XtX)^-1 Xt diag(e^2) X (XtX)^-1.
+	e2 := make([]float64, n)
+	for i, r := range resid {
+		e2[i] = r * r
+	}
+	meat, err := XtWX(x, e2)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := Mul(xtxInv, meat)
+	if err != nil {
+		return nil, err
+	}
+	sandwich, err := Mul(tmp, xtxInv)
+	if err != nil {
+		return nil, err
+	}
+	robust := make([]float64, p)
+	for j := 0; j < p; j++ {
+		robust[j] = math.Sqrt(sandwich.At(j, j))
+	}
+
+	my := Mean(y)
+	var sst float64
+	for _, v := range y {
+		d := v - my
+		sst += d * d
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - ssr/sst
+	}
+	adj := 1 - (1-r2)*float64(n-1)/float64(n-p)
+
+	return &OLSResult{
+		Coef: beta, SE: se, RobustSE: robust,
+		Fitted: fitted, Resid: resid,
+		R2: r2, AdjR2: adj, Sigma2: sigma2, N: n, P: p,
+	}, nil
+}
+
+// LinearTrend fits y = a + b*t with t = 0, 1, 2, ... and returns the
+// intercept a and slope b. It is the slope statistic the paper uses for the
+// NCA advertising analysis (Figure 5). It returns NaNs if len(y) < 2.
+func LinearTrend(y []float64) (intercept, slope float64) {
+	n := len(y)
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	// Closed form simple regression on t = 0..n-1.
+	tbar := float64(n-1) / 2
+	ybar := Mean(y)
+	var sxy, sxx float64
+	for i, v := range y {
+		dt := float64(i) - tbar
+		sxy += dt * (v - ybar)
+		sxx += dt * dt
+	}
+	slope = sxy / sxx
+	intercept = ybar - slope*tbar
+	return intercept, slope
+}
+
+// TestResult reports a test statistic, its degrees of freedom, and p-value.
+type TestResult struct {
+	// Stat is the test statistic value.
+	Stat float64
+	// DF is the degrees of freedom of the reference distribution.
+	DF float64
+	// P is the p-value.
+	P float64
+}
+
+// Significant reports whether the test rejects at the given level (for
+// example 0.05).
+func (t TestResult) Significant(level float64) bool { return t.P < level }
+
+// WhiteTest performs White's test for heteroskedasticity of an OLS fit of y
+// on x. The auxiliary regression regresses squared residuals on the original
+// regressors, their squares, and their cross products; the LM statistic
+// n*R² is chi-squared with the number of auxiliary regressors (minus
+// intercept) degrees of freedom under homoskedasticity.
+//
+// x must not contain an intercept column: one is added internally, and
+// squares/cross-products are formed from the supplied columns only.
+func WhiteTest(x *Dense, y []float64) (TestResult, error) {
+	n, k := x.Dims()
+	if len(y) != n {
+		return TestResult{}, fmt.Errorf("stats: WhiteTest: y length %d != rows %d", len(y), n)
+	}
+	// Primary regression with intercept.
+	design := NewDense(n, k+1)
+	for i := 0; i < n; i++ {
+		design.Set(i, 0, 1)
+		for j := 0; j < k; j++ {
+			design.Set(i, j+1, x.At(i, j))
+		}
+	}
+	fit, err := OLS(design, y)
+	if err != nil {
+		return TestResult{}, err
+	}
+	e2 := make([]float64, n)
+	for i, r := range fit.Resid {
+		e2[i] = r * r
+	}
+	// Auxiliary design: intercept, x_j, x_j^2, x_j*x_l (j<l).
+	aux := 1 + k + k + k*(k-1)/2
+	ax := NewDense(n, aux)
+	for i := 0; i < n; i++ {
+		col := 0
+		ax.Set(i, col, 1)
+		col++
+		for j := 0; j < k; j++ {
+			ax.Set(i, col, x.At(i, j))
+			col++
+		}
+		for j := 0; j < k; j++ {
+			v := x.At(i, j)
+			ax.Set(i, col, v*v)
+			col++
+		}
+		for j := 0; j < k; j++ {
+			for l := j + 1; l < k; l++ {
+				ax.Set(i, col, x.At(i, j)*x.At(i, l))
+				col++
+			}
+		}
+	}
+	auxFit, err := OLS(ax, e2)
+	if err != nil {
+		return TestResult{}, fmt.Errorf("stats: WhiteTest auxiliary regression: %w", err)
+	}
+	df := float64(aux - 1)
+	lm := float64(n) * auxFit.R2
+	p := ChiSquared{K: df}.SF(lm)
+	return TestResult{Stat: lm, DF: df, P: p}, nil
+}
+
+// SkewKurtTest performs the D'Agostino–Pearson omnibus K² normality test
+// combining transformed skewness and kurtosis statistics (the "sktest" the
+// paper applies to self-reported booter counters). The null hypothesis is
+// that xs is drawn from a normal distribution; K² is chi-squared with 2
+// degrees of freedom under the null. Requires n >= 8.
+func SkewKurtTest(xs []float64) (TestResult, error) {
+	n := float64(len(xs))
+	if n < 8 {
+		return TestResult{}, fmt.Errorf("stats: SkewKurtTest: need at least 8 observations, have %d", len(xs))
+	}
+	g1 := Skewness(xs)
+	g2 := Kurtosis(xs) - 3 // excess kurtosis
+	if math.IsNaN(g1) || math.IsNaN(g2) {
+		return TestResult{}, fmt.Errorf("stats: SkewKurtTest: degenerate sample (zero variance)")
+	}
+
+	// D'Agostino (1970) transformation of skewness.
+	y := g1 * math.Sqrt((n+1)*(n+3)/(6*(n-2)))
+	beta2 := 3 * (n*n + 27*n - 70) * (n + 1) * (n + 3) / ((n - 2) * (n + 5) * (n + 7) * (n + 9))
+	w2 := -1 + math.Sqrt(2*(beta2-1))
+	delta := 1 / math.Sqrt(math.Log(math.Sqrt(w2)))
+	alpha := math.Sqrt(2 / (w2 - 1))
+	ya := y / alpha
+	z1 := delta * math.Log(ya+math.Sqrt(ya*ya+1))
+
+	// Anscombe & Glynn (1983) transformation of kurtosis.
+	eb2 := -6 / (n + 1) // E[g2] for normal samples
+	vb2 := 24 * n * (n - 2) * (n - 3) / ((n + 1) * (n + 1) * (n + 3) * (n + 5))
+	xk := (g2 - eb2) / math.Sqrt(vb2)
+	sqrtb1 := 6 * (n*n - 5*n + 2) / ((n + 7) * (n + 9)) *
+		math.Sqrt(6*(n+3)*(n+5)/(n*(n-2)*(n-3)))
+	a := 6 + 8/sqrtb1*(2/sqrtb1+math.Sqrt(1+4/(sqrtb1*sqrtb1)))
+	t1 := 1 - 2/(9*a)
+	den := 1 + xk*math.Sqrt(2/(a-4))
+	if den <= 0 {
+		den = 1e-12
+	}
+	t2 := math.Cbrt((1 - 2/a) / den)
+	z2 := (t1 - t2) / math.Sqrt(2/(9*a))
+
+	k2 := z1*z1 + z2*z2
+	p := ChiSquared{K: 2}.SF(k2)
+	return TestResult{Stat: k2, DF: 2, P: p}, nil
+}

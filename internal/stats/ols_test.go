@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOLSRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 500
+	x := NewDense(n, 3)
+	y := make([]float64, n)
+	// y = 2 + 3*x1 - 1.5*x2 + noise
+	for i := 0; i < n; i++ {
+		x1 := rng.NormFloat64()
+		x2 := rng.NormFloat64()
+		x.Set(i, 0, 1)
+		x.Set(i, 1, x1)
+		x.Set(i, 2, x2)
+		y[i] = 2 + 3*x1 - 1.5*x2 + 0.5*rng.NormFloat64()
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1.5}
+	for j, w := range want {
+		if math.Abs(fit.Coef[j]-w) > 0.1 {
+			t.Errorf("coef[%d] = %g, want ~%g", j, fit.Coef[j], w)
+		}
+		// CI half-width of ~2 SE should cover truth.
+		if math.Abs(fit.Coef[j]-w) > 3*fit.SE[j] {
+			t.Errorf("coef[%d] %g more than 3 SE from truth %g (SE %g)", j, fit.Coef[j], w, fit.SE[j])
+		}
+	}
+	if fit.R2 < 0.9 {
+		t.Errorf("R2 = %g, want > 0.9", fit.R2)
+	}
+	if fit.AdjR2 > fit.R2 {
+		t.Errorf("AdjR2 %g > R2 %g", fit.AdjR2, fit.R2)
+	}
+}
+
+func TestOLSPerfectFit(t *testing.T) {
+	// Exact line: residuals 0, R2 = 1.
+	x, _ := DenseFromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	y := []float64{5, 7, 9, 11} // 5 + 2t
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "intercept", fit.Coef[0], 5, 1e-9)
+	approx(t, "slope", fit.Coef[1], 2, 1e-9)
+	approx(t, "R2", fit.R2, 1, 1e-9)
+}
+
+func TestOLSErrors(t *testing.T) {
+	x := NewDense(3, 3)
+	if _, err := OLS(x, []float64{1, 2, 3}); err == nil {
+		t.Error("OLS accepted n == p")
+	}
+	x2 := NewDense(5, 1)
+	if _, err := OLS(x2, []float64{1, 2}); err == nil {
+		t.Error("OLS accepted mismatched y")
+	}
+}
+
+func TestLinearTrend(t *testing.T) {
+	// y = 10 - 0.5 t
+	y := make([]float64, 40)
+	for i := range y {
+		y[i] = 10 - 0.5*float64(i)
+	}
+	a, b := LinearTrend(y)
+	approx(t, "intercept", a, 10, 1e-10)
+	approx(t, "slope", b, -0.5, 1e-10)
+
+	if _, b := LinearTrend([]float64{1}); !math.IsNaN(b) {
+		t.Error("LinearTrend of 1 point should be NaN")
+	}
+}
+
+func TestWhiteTestDetectsHeteroskedasticity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 400
+	x := NewDense(n, 1)
+	homo := make([]float64, n)
+	hetero := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xv := float64(i) / 10
+		x.Set(i, 0, xv)
+		homo[i] = 1 + 2*xv + rng.NormFloat64()
+		hetero[i] = 1 + 2*xv + rng.NormFloat64()*(0.2+xv) // variance grows with x
+	}
+	resHomo, err := WhiteTest(x, homo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHetero, err := WhiteTest(x, hetero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHomo.Significant(0.01) {
+		t.Errorf("White test rejected homoskedastic data: p = %g", resHomo.P)
+	}
+	if !resHetero.Significant(0.05) {
+		t.Errorf("White test failed to reject heteroskedastic data: p = %g", resHetero.P)
+	}
+}
+
+func TestSkewKurtTestOnNormalAndUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 500
+	normal := make([]float64, n)
+	uniform := make([]float64, n)
+	for i := 0; i < n; i++ {
+		normal[i] = rng.NormFloat64()
+		uniform[i] = rng.Float64()
+	}
+	resN, err := SkewKurtTest(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := SkewKurtTest(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resN.Significant(0.01) {
+		t.Errorf("sk-test rejected normal data: p = %g", resN.P)
+	}
+	// Uniform data has kurtosis 1.8, strongly non-normal: the paper's
+	// point is that "faking with random data would produce uniform
+	// distributions" that this test catches.
+	if !resU.Significant(0.05) {
+		t.Errorf("sk-test failed to reject uniform data: p = %g", resU.P)
+	}
+}
+
+func TestSkewKurtTestErrors(t *testing.T) {
+	if _, err := SkewKurtTest([]float64{1, 2, 3}); err == nil {
+		t.Error("sk-test accepted n < 8")
+	}
+	flat := make([]float64, 20)
+	if _, err := SkewKurtTest(flat); err == nil {
+		t.Error("sk-test accepted zero-variance data")
+	}
+}
+
+func TestDescriptiveStats(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	approx(t, "popvar", PopVariance(xs), 4, 1e-12)
+	approx(t, "var", Variance(xs), 32.0/7.0, 1e-12)
+	approx(t, "median", Median(xs), 4.5, 1e-12)
+	approx(t, "min", Min(xs), 2, 0)
+	approx(t, "max", Max(xs), 9, 0)
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of 1 point should be NaN")
+	}
+}
+
+func TestSkewnessKurtosisKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 200000
+	normal := make([]float64, n)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	if g1 := Skewness(normal); math.Abs(g1) > 0.03 {
+		t.Errorf("skewness of normal sample = %g, want ~0", g1)
+	}
+	if g2 := Kurtosis(normal); math.Abs(g2-3) > 0.1 {
+		t.Errorf("kurtosis of normal sample = %g, want ~3", g2)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "q0", Quantile(xs, 0), 1, 0)
+	approx(t, "q1", Quantile(xs, 1), 5, 0)
+	approx(t, "q50", Quantile(xs, 0.5), 3, 1e-12)
+	approx(t, "q25", Quantile(xs, 0.25), 2, 1e-12)
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Error("Quantile(p>1) should be NaN")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, "perfect corr", Correlation(xs, ys), 1, 1e-12)
+	neg := []float64{10, 8, 6, 4, 2}
+	approx(t, "perfect anticorr", Correlation(xs, neg), -1, 1e-12)
+	if !math.IsNaN(Correlation(xs, []float64{1, 1, 1, 1, 1})) {
+		t.Error("correlation with constant should be NaN")
+	}
+	if !math.IsNaN(Correlation(xs, ys[:3])) {
+		t.Error("correlation with mismatched lengths should be NaN")
+	}
+}
+
+func TestCorrelationMatrixSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	series := make([][]float64, 4)
+	for i := range series {
+		series[i] = make([]float64, 50)
+		for j := range series[i] {
+			series[i][j] = rng.NormFloat64()
+		}
+	}
+	m := CorrelationMatrix(series)
+	r, c := m.Dims()
+	if r != 4 || c != 4 {
+		t.Fatalf("dims = %dx%d", r, c)
+	}
+	for i := 0; i < 4; i++ {
+		approx(t, "diag", m.At(i, i), 1, 1e-12)
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if v := m.At(i, j); v < -1-1e-12 || v > 1+1e-12 {
+				t.Errorf("correlation %g outside [-1,1]", v)
+			}
+		}
+	}
+}

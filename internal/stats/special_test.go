@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) {
+		t.Fatalf("%s: got %v, want %v", name, got, want)
+	}
+	if math.IsNaN(want) {
+		return
+	}
+	if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Errorf("%s: got %.12g, want %.12g (tol %g)", name, got, want, tol)
+	}
+}
+
+func TestDigammaKnownValues(t *testing.T) {
+	// psi(1) = -EulerGamma; psi(0.5) = -gamma - 2 ln 2; psi(n) via harmonic
+	// numbers.
+	const gamma = 0.5772156649015329
+	// psi(100.5) from psi(0.5) via the recurrence psi(x+1) = psi(x) + 1/x.
+	psi1005 := -gamma - 2*math.Ln2
+	for k := 0; k < 100; k++ {
+		psi1005 += 1 / (0.5 + float64(k))
+	}
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{2, 1 - gamma},
+		{3, 1.5 - gamma},
+		{10, -gamma + 1 + 1.0/2 + 1.0/3 + 1.0/4 + 1.0/5 + 1.0/6 + 1.0/7 + 1.0/8 + 1.0/9},
+		{100.5, psi1005},
+	}
+	for _, c := range cases {
+		approx(t, "Digamma", Digamma(c.x), c.want, 1e-12)
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// psi(x+1) = psi(x) + 1/x must hold everywhere.
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 50) + 0.01
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, math.Pi * math.Pi / 6},
+		{0.5, math.Pi * math.Pi / 2},
+		{2, math.Pi*math.Pi/6 - 1},
+	}
+	for _, c := range cases {
+		approx(t, "Trigamma", Trigamma(c.x), c.want, 1e-12)
+	}
+}
+
+func TestTrigammaRecurrence(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 40) + 0.01
+		lhs := Trigamma(x + 1)
+		rhs := Trigamma(x) - 1/(x*x)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x; P(0.5, x) = erf(sqrt x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		p, err := GammaP(1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "GammaP(1,x)", p, 1-math.Exp(-x), 1e-12)
+		p, err = GammaP(0.5, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "GammaP(0.5,x)", p, math.Erf(math.Sqrt(x)), 1e-12)
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	f := func(ra, rx float64) bool {
+		a := math.Mod(math.Abs(ra), 30) + 0.1
+		x := math.Mod(math.Abs(rx), 60)
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p+q-1) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPDomainErrors(t *testing.T) {
+	if _, err := GammaP(-1, 2); err == nil {
+		t.Error("GammaP(-1, 2): want domain error")
+	}
+	if _, err := GammaP(1, -2); err == nil {
+		t.Error("GammaP(1, -2): want domain error")
+	}
+	if _, err := GammaQ(0, 1); err == nil {
+		t.Error("GammaQ(0, 1): want domain error")
+	}
+}
+
+func TestBetaincKnownValues(t *testing.T) {
+	// I_x(1,1) = x; I_x(2,2) = x^2(3-2x); symmetry I_x(a,b)=1-I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v, err := Betainc(1, 1, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "Betainc(1,1,x)", v, x, 1e-12)
+		v, err = Betainc(2, 2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, "Betainc(2,2,x)", v, x*x*(3-2*x), 1e-10)
+	}
+}
+
+func TestBetaincSymmetry(t *testing.T) {
+	f := func(ra, rb, rx float64) bool {
+		a := math.Mod(math.Abs(ra), 20) + 0.2
+		b := math.Mod(math.Abs(rb), 20) + 0.2
+		x := math.Mod(math.Abs(rx), 1)
+		v1, err1 := Betainc(a, b, x)
+		v2, err2 := Betainc(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(v1+v2-1) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, "Phi(0)", NormalCDF(0), 0.5, 1e-15)
+	approx(t, "Phi(1.96)", NormalCDF(1.959963984540054), 0.975, 1e-12)
+	approx(t, "Phi(-1)", NormalCDF(-1), 0.15865525393145707, 1e-12)
+	approx(t, "Phi(3)", NormalCDF(3), 0.9986501019683699, 1e-12)
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.9998) + 0.0001
+		z, err := NormalQuantile(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(NormalCDF(z)-p) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if z, _ := NormalQuantile(0); !math.IsInf(z, -1) {
+		t.Errorf("NormalQuantile(0) = %v, want -Inf", z)
+	}
+	if z, _ := NormalQuantile(1); !math.IsInf(z, 1) {
+		t.Errorf("NormalQuantile(1) = %v, want +Inf", z)
+	}
+	if _, err := NormalQuantile(-0.5); err == nil {
+		t.Error("NormalQuantile(-0.5): want error")
+	}
+	if _, err := NormalQuantile(math.NaN()); err == nil {
+		t.Error("NormalQuantile(NaN): want error")
+	}
+	z, err := NormalQuantile(0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "z(0.975)", z, 1.959963984540054, 1e-12)
+}

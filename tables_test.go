@@ -1,0 +1,79 @@
+package booters
+
+import (
+	"testing"
+
+	"booters/internal/geo"
+)
+
+func TestTable3Structure(t *testing.T) {
+	p := testPanel(t)
+	tbl := Table3(p)
+	if len(tbl) != 8 {
+		t.Fatalf("table 3 has %d countries, want 8", len(tbl))
+	}
+	for _, c := range []string{geo.US, geo.FR, geo.DE, geo.CN, geo.UK, geo.PL, geo.RU, geo.NL} {
+		years, ok := tbl[c]
+		if !ok {
+			t.Fatalf("missing country %s", c)
+		}
+		if len(years) != len(Table3Years) {
+			t.Errorf("%s has %d years", c, len(years))
+		}
+		for y, share := range years {
+			if share < 0 || share > 100 {
+				t.Errorf("%s %d share = %v", c, y, share)
+			}
+		}
+	}
+	// The US is the top victim country in every February snapshot except
+	// the Feb-17 China surge (in the paper the US leads every year except
+	// Feb-17, when CN spikes to 55%).
+	for _, y := range Table3Years {
+		if y == 2017 {
+			continue
+		}
+		for c, years := range tbl {
+			if c != geo.US && years[y] > tbl[geo.US][y] {
+				t.Errorf("Feb-%d: %s share %.0f%% exceeds US %.0f%%", y, c, years[y], tbl[geo.US][y])
+			}
+		}
+	}
+}
+
+func TestCountrySharesAtQuietMonth(t *testing.T) {
+	p := testPanel(t)
+	shares := CountrySharesAt(p, 2018, 9) // quiet September
+	var total float64
+	for _, v := range shares {
+		total += v
+	}
+	// All eleven countries plus double counting: slightly above 100%.
+	if total < 100 || total > 115 {
+		t.Errorf("September 2018 all-country share total = %.1f%%, want a few points above 100%%", total)
+	}
+	if shares[geo.US] < 30 {
+		t.Errorf("US share = %.0f%%, want dominant", shares[geo.US])
+	}
+}
+
+func TestFitCountryModelUnknownCountry(t *testing.T) {
+	p := testPanel(t)
+	if _, err := FitCountryModel(p, "XX"); err == nil {
+		t.Error("accepted unknown country")
+	}
+}
+
+func TestFitGlobalModelFixedMatchesPaperWindows(t *testing.T) {
+	p := testPanel(t)
+	m, err := FitGlobalModelFixed(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"Xmas2018": 10, "Webstresser": 3, "Mirai": 8, "HackForums": 13, "vDOS": 3}
+	for _, eff := range m.Effects {
+		if eff.Weeks != want[eff.Name] {
+			t.Errorf("%s fixed duration = %d, want %d", eff.Name, eff.Weeks, want[eff.Name])
+		}
+	}
+}

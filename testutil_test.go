@@ -1,0 +1,33 @@
+package booters
+
+import (
+	"testing"
+
+	"booters/internal/protocols"
+	"booters/internal/stats"
+	"booters/internal/timeseries"
+)
+
+// correlation is a test-local alias for the stats implementation.
+func correlation(a, b []float64) float64 { return stats.Correlation(a, b) }
+
+// protoByName resolves a protocol display name or fails the test.
+func protoByName(t *testing.T, name string) protocols.Protocol {
+	t.Helper()
+	p, ok := protocols.ByName(name)
+	if !ok {
+		t.Fatalf("unknown protocol %q", name)
+	}
+	return p
+}
+
+// yearTotal sums a weekly series over one calendar year.
+func yearTotal(s *timeseries.Series, year int) float64 {
+	var total float64
+	for i := 0; i < s.Len(); i++ {
+		if s.Week(i).Year() == year {
+			total += s.Values[i]
+		}
+	}
+	return total
+}
