@@ -1,0 +1,137 @@
+package booters
+
+// Streaming ingestion benchmarks, in bench_test.go's reporting style: each
+// reports packets/sec (and packets/op) so BENCH_*.json runs can track
+// pipeline throughput alongside the model-fitting exhibits. Run with:
+//
+//	go test -bench Ingest -benchmem
+//
+// The replay is a ~1M-packet synthetic stream generated once per process
+// from the market simulator. Shard scaling (1 vs 4 vs GOMAXPROCS) is real
+// parallelism: on a single-core host the multi-shard numbers measure
+// routing overhead only, on multicore they measure speedup.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"booters/internal/honeypot"
+	"booters/internal/ingest"
+)
+
+var (
+	ingestStreamOnce sync.Once
+	ingestStream     []honeypot.Packet
+	ingestStreamErr  error
+)
+
+// ingestBenchStart anchors the benchmark replay window.
+var ingestBenchStart = time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+const ingestBenchWeeks = 26
+
+// benchIngestStream generates (once) the shared ~1M-packet replay.
+func benchIngestStream(b *testing.B) []honeypot.Packet {
+	b.Helper()
+	ingestStreamOnce.Do(func() {
+		ingestStream, ingestStreamErr = ingest.SyntheticStream(ingest.StreamConfig{
+			Seed:           DefaultSeed,
+			Start:          ingestBenchStart,
+			Weeks:          ingestBenchWeeks,
+			Sensors:        8,
+			AttacksPerWeek: 2250,
+		})
+	})
+	if ingestStreamErr != nil {
+		b.Fatal(ingestStreamErr)
+	}
+	return ingestStream
+}
+
+// benchIngestConfig is the pipeline configuration under benchmark.
+func benchIngestConfig(shards int) ingest.Config {
+	return ingest.Config{
+		Shards: shards,
+		Start:  ingestBenchStart,
+		End:    ingestBenchStart.AddDate(0, 0, 7*ingestBenchWeeks-1),
+	}
+}
+
+// runIngestBenchmark replays the stream through a fresh pipeline per
+// iteration and reports throughput.
+func runIngestBenchmark(b *testing.B, shards int) {
+	packets := benchIngestStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := ingest.New(benchIngestConfig(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range packets {
+			if err := in.Ingest(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := in.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Attacks == 0 {
+			b.Fatal("no attacks classified")
+		}
+	}
+	b.ReportMetric(float64(len(packets))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(len(packets)), "packets/op")
+}
+
+func BenchmarkIngest1Shard(b *testing.B) { runIngestBenchmark(b, 1) }
+func BenchmarkIngest4Shard(b *testing.B) { runIngestBenchmark(b, 4) }
+func BenchmarkIngestMaxShard(b *testing.B) {
+	runIngestBenchmark(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkIngestBatchBaseline runs the same replay through the
+// single-threaded batch reference — the number the sharded pipeline has to
+// beat on multicore hardware.
+func BenchmarkIngestBatchBaseline(b *testing.B) {
+	packets := benchIngestStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ingest.Batch(benchIngestConfig(1), packets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Attacks == 0 {
+			b.Fatal("no attacks classified")
+		}
+	}
+	b.ReportMetric(float64(len(packets))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(len(packets)), "packets/op")
+}
+
+// BenchmarkIngestWireDecode replays wire-format datagrams so the per-packet
+// protocol decode (port lookup + request validation) is on the measured
+// path.
+func BenchmarkIngestWireDecode(b *testing.B) {
+	packets := benchIngestStream(b)
+	datagrams := ingest.Datagrams(packets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := ingest.New(benchIngestConfig(runtime.GOMAXPROCS(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range datagrams {
+			if err := in.IngestDatagram(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := in.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(datagrams))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(len(datagrams)), "packets/op")
+}

@@ -23,6 +23,8 @@
 //     wire-format codecs
 //   - internal/honeypot    — sensor fleet, flow aggregation, attack/scan
 //     classification
+//   - internal/ingest      — sharded streaming ingestion: wire-format
+//     datagrams to weekly attack series, concurrently and incrementally
 //   - internal/geo         — victim-IP country attribution
 //   - internal/market      — agent-based booter market simulator
 //   - internal/scrape      — self-report collection and forgery screens

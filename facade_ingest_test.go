@@ -1,0 +1,78 @@
+package booters
+
+import (
+	"testing"
+	"time"
+
+	"booters/internal/geo"
+	"booters/internal/ingest"
+	"booters/internal/protocols"
+)
+
+// TestIngestorFeedsPanel checks the facade bridge: a stream ingested via
+// NewIngestor becomes a dataset.Panel aligned with the batch panel's span,
+// sliceable over the model window, with the stream's attacks in place.
+func TestIngestorFeedsPanel(t *testing.T) {
+	streamStart := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           DefaultSeed,
+		Start:          streamStart,
+		Weeks:          8,
+		AttacksPerWeek: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewIngestor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packets {
+		if err := in.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Attacks == 0 {
+		t.Fatal("stream produced no attacks")
+	}
+
+	panel := PanelFromIngest(res)
+	want, err := GeneratePanel(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !panel.Start.Equal(want.Start) || panel.Weeks != want.Weeks {
+		t.Fatalf("panel span: got %v+%d want %v+%d", panel.Start, panel.Weeks, want.Start, want.Weeks)
+	}
+	if got := panel.Global.Total(); got != float64(res.Stats.Attacks) {
+		t.Errorf("global total: got %v want %d", got, res.Stats.Attacks)
+	}
+	for _, c := range geo.Table2Countries() {
+		if _, ok := panel.ByCountry[c]; !ok {
+			t.Errorf("missing country series %s", c)
+		}
+	}
+	for _, p := range protocols.All() {
+		if _, ok := panel.ByProtocol[p]; !ok {
+			t.Errorf("missing protocol series %v", p)
+		}
+	}
+
+	// The model-window slice must cover the stream's weeks: every ingested
+	// attack survives the slicing FitGlobalModel applies.
+	from, to := ModelWindow()
+	s := panel.Global.Slice(from, to)
+	if got := s.Total(); got != float64(res.Stats.Attacks) {
+		t.Errorf("model-window slice dropped attacks: got %v want %d", got, res.Stats.Attacks)
+	}
+
+	// And the bridge must not alias ingest's storage.
+	res.Global.Values[0] = 1e9
+	if panel.Global.Values[0] == 1e9 {
+		t.Error("PanelFromIngest aliases the ingest result's series")
+	}
+}

@@ -1,0 +1,3 @@
+module booters
+
+go 1.24

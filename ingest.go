@@ -1,0 +1,46 @@
+package booters
+
+import (
+	"booters/internal/dataset"
+	"booters/internal/ingest"
+	"booters/internal/protocols"
+	"booters/internal/timeseries"
+)
+
+// NewIngestor starts a streaming honeypot-ingestion pipeline covering the
+// paper's five-year panel span with the given shard count (<= 0 means
+// GOMAXPROCS). Feed it packets or wire-format datagrams from any number of
+// goroutines, then Close it and pass the result through PanelFromIngest to
+// run the paper's models on the ingested series.
+func NewIngestor(shards int) (*ingest.Ingestor, error) {
+	return ingest.New(ingest.Config{
+		Shards: shards,
+		Start:  dataset.SpanStart,
+		End:    dataset.SpanEnd,
+	})
+}
+
+// PanelFromIngest bridges a completed ingestion run into a dataset.Panel so
+// the ingested stream can feed the models that read the weekly attack
+// series: FitGlobalModel, FitCountryModel, Analyze, AnalyzeNCA. Fields the
+// stream cannot know — planted ground truth, the self-report panel, the
+// country-by-protocol breakdown — are left empty, so exhibits that need
+// them (Figure 6's protocol-by-country shares, Figure 7/8's self-report
+// panel) still require the generated dataset.
+func PanelFromIngest(res *ingest.Result) *dataset.Panel {
+	p := &dataset.Panel{
+		Start:           res.Start,
+		Weeks:           res.Weeks,
+		Global:          res.Global.Clone(),
+		ByCountry:       make(map[string]*timeseries.Series, len(res.ByCountry)),
+		ByProtocol:      make(map[protocols.Protocol]*timeseries.Series, len(res.ByProtocol)),
+		CountryProtocol: make(map[string]map[protocols.Protocol]*timeseries.Series),
+	}
+	for c, s := range res.ByCountry {
+		p.ByCountry[c] = s.Clone()
+	}
+	for proto, s := range res.ByProtocol {
+		p.ByProtocol[proto] = s.Clone()
+	}
+	return p
+}

@@ -1,0 +1,139 @@
+package honeypot
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"booters/internal/protocols"
+)
+
+func registryAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+}
+
+// TestVictimRegistryPrune checks the TTL-expiry sweep: expired entries are
+// removed, live ones kept, and a zero-TTL (permanent) registry is never
+// pruned.
+func TestVictimRegistryPrune(t *testing.T) {
+	base := time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC)
+	r := NewVictimRegistry(time.Hour)
+	r.Report(registryAddr(1), base)
+	r.Report(registryAddr(2), base.Add(30*time.Minute))
+	r.Report(registryAddr(3), base.Add(59*time.Minute))
+
+	if n := r.Prune(base.Add(time.Hour)); n != 1 {
+		t.Errorf("pruned %d, want 1 (only the entry a full TTL old)", n)
+	}
+	if r.Len() != 2 {
+		t.Errorf("len after prune: %d, want 2", r.Len())
+	}
+	if r.Suppressed(registryAddr(1), base.Add(time.Hour)) {
+		t.Error("pruned victim still suppressed")
+	}
+	if !r.Suppressed(registryAddr(2), base.Add(time.Hour)) {
+		t.Error("live victim lost suppression")
+	}
+	if n := r.Prune(base.Add(3 * time.Hour)); n != 2 {
+		t.Errorf("second prune removed %d, want 2", n)
+	}
+
+	perm := NewVictimRegistry(0)
+	perm.Report(registryAddr(9), base)
+	if n := perm.Prune(base.Add(100 * 24 * time.Hour)); n != 0 {
+		t.Errorf("permanent registry pruned %d entries", n)
+	}
+	if perm.Len() != 1 {
+		t.Error("permanent registry lost its entry")
+	}
+}
+
+// TestVictimRegistryAutoSweep checks that sustained Report traffic keeps
+// the map bounded without any explicit Prune call: after far more than
+// registrySweepEvery reports of short-lived victims, the registry must not
+// have retained them all.
+func TestVictimRegistryAutoSweep(t *testing.T) {
+	base := time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC)
+	r := NewVictimRegistry(time.Minute)
+	const reports = 8 * registrySweepEvery
+	for i := 0; i < reports; i++ {
+		// Each report lands one second after the previous, so every entry
+		// older than a minute is expired by the time a sweep runs.
+		r.Report(registryAddr(i), base.Add(time.Duration(i)*time.Second))
+	}
+	if r.Len() >= reports/2 {
+		t.Errorf("registry grew to %d entries over %d reports; auto-sweep not working", r.Len(), reports)
+	}
+}
+
+// TestVictimRegistryConcurrent hammers Report, Suppressed, Len and Prune
+// from many goroutines; run under -race this is the registry's shard-safety
+// test.
+func TestVictimRegistryConcurrent(t *testing.T) {
+	base := time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC)
+	// The TTL exceeds the largest clock any goroutine uses (perG seconds),
+	// so no interleaving of Prune or the auto-sweep can expire a
+	// just-reported victim before its Suppressed check below.
+	r := NewVictimRegistry(time.Hour)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				now := base.Add(time.Duration(i) * time.Second)
+				addr := registryAddr(g*perG + i)
+				r.Report(addr, now)
+				if !r.Suppressed(addr, now) {
+					t.Errorf("just-reported victim %v not suppressed", addr)
+					return
+				}
+				switch i % 100 {
+				case 50:
+					r.Prune(now)
+				case 99:
+					_ = r.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFleetSharedRegistryConcurrent drives a sensor fleet from concurrent
+// attack loops: the rate limiter must report victims centrally and every
+// sensor must then refuse them, with no data races across the shared
+// registry.
+func TestFleetSharedRegistryConcurrent(t *testing.T) {
+	base := time.Date(2018, 12, 19, 0, 0, 0, 0, time.UTC)
+	fleet := NewFleet(4, time.Hour)
+	req := []byte{0x17, 0x00, 0x03, 0x2a} // NTP monlist
+	var wg sync.WaitGroup
+	for s := range fleet.Sensors {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			victim := netip.MustParseAddr(fmt.Sprintf("10.0.0.%d", s+1))
+			for i := 0; i < 3*RateLimit; i++ {
+				fleet.Sensors[s].Receive(base.Add(time.Duration(i)*time.Second), victim, protocols.NTP, req)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := fleet.Registry.Len(); got != len(fleet.Sensors) {
+		t.Errorf("registry has %d victims, want %d", got, len(fleet.Sensors))
+	}
+	// Every sensor must now refuse every registered victim.
+	for s := range fleet.Sensors {
+		for v := 0; v < len(fleet.Sensors); v++ {
+			victim := netip.MustParseAddr(fmt.Sprintf("10.0.0.%d", v+1))
+			if resp := fleet.Sensors[s].Receive(base.Add(time.Hour/2), victim, protocols.NTP, req); resp != nil {
+				t.Errorf("sensor %d reflected to registered victim %v", s, victim)
+			}
+		}
+	}
+}

@@ -25,9 +25,15 @@ const RateWindow = time.Minute
 type VictimRegistry struct {
 	mu      sync.RWMutex
 	victims map[netip.Addr]time.Time
+	reports int // Reports since the last TTL sweep
 	// TTL is how long a victim remains suppressed; zero means forever.
 	TTL time.Duration
 }
+
+// registrySweepEvery is how many Reports may land between opportunistic TTL
+// sweeps; it bounds the registry's growth under sustained traffic without
+// putting a full-map scan on every report.
+const registrySweepEvery = 1024
 
 // NewVictimRegistry returns an empty registry with the given suppression
 // TTL (zero = permanent suppression).
@@ -35,11 +41,42 @@ func NewVictimRegistry(ttl time.Duration) *VictimRegistry {
 	return &VictimRegistry{victims: make(map[netip.Addr]time.Time), TTL: ttl}
 }
 
-// Report marks addr as an identified victim at time now.
+// Report marks addr as an identified victim at time now. With a nonzero
+// TTL it also sweeps expired entries every registrySweepEvery reports, so
+// the registry stays bounded even if nobody calls Prune.
 func (r *VictimRegistry) Report(addr netip.Addr, now time.Time) {
 	r.mu.Lock()
 	r.victims[addr] = now
+	if r.TTL > 0 {
+		if r.reports++; r.reports >= registrySweepEvery {
+			r.reports = 0
+			r.pruneLocked(now)
+		}
+	}
 	r.mu.Unlock()
+}
+
+// Prune removes entries whose suppression TTL has expired as of now and
+// returns how many were removed. With a zero TTL suppression is permanent
+// and Prune removes nothing.
+func (r *VictimRegistry) Prune(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pruneLocked(now)
+}
+
+func (r *VictimRegistry) pruneLocked(now time.Time) int {
+	if r.TTL == 0 {
+		return 0
+	}
+	var n int
+	for addr, t := range r.victims {
+		if now.Sub(t) >= r.TTL {
+			delete(r.victims, addr)
+			n++
+		}
+	}
+	return n
 }
 
 // Suppressed reports whether reflections to addr must be refused at now.

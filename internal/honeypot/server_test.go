@@ -3,6 +3,7 @@ package honeypot
 import (
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -10,11 +11,11 @@ import (
 )
 
 // syntheticClock returns a Clock advancing 2 simulated seconds per call.
+// The tick is atomic: a fleet shares one clock across server goroutines.
 func syntheticClock(base time.Time) Clock {
-	var tick int
+	var tick atomic.Int64
 	return func() time.Time {
-		tick++
-		return base.Add(time.Duration(tick) * 2 * time.Second)
+		return base.Add(time.Duration(tick.Add(1)) * 2 * time.Second)
 	}
 }
 

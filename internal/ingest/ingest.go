@@ -1,0 +1,357 @@
+// Package ingest implements the streaming side of the paper's first
+// dataset: a concurrent, sharded pipeline that consumes reflected-UDP
+// datagrams continuously, the way a deployed sensor fleet would, instead of
+// aggregating a pre-collected packet log in one batch.
+//
+// Datagrams are decoded against the amplification-protocol registry
+// (internal/protocols), sharded by victim address across N workers, grouped
+// into flows by each shard's own aggregator using the paper's 15-minute
+// quiet-gap rule, classified as attack or scan on closure, attributed to
+// victim countries (internal/geo), and accumulated into the same weekly
+// series the batch path produces. A watermark — the maximum packet
+// timestamp observed by any producer — is broadcast periodically so idle
+// shards expire quiet flows without any global lock.
+//
+// Because flows are keyed by (victim, protocol) and shards are chosen by
+// victim address, every packet of a flow lands on the same shard, so the
+// union of the shards' flows is exactly the flow set a single batch
+// aggregator computes over the merged log: Batch is the reference
+// implementation and the equivalence is tested at every shard count.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"booters/internal/geo"
+	"booters/internal/honeypot"
+	"booters/internal/protocols"
+)
+
+// ErrClosed is returned by Ingest and Close after the ingestor has been
+// closed.
+var ErrClosed = errors.New("ingest: ingestor closed")
+
+// Datagram is one wire-format UDP datagram as a sensor host captures it:
+// receive timestamp, receiving sensor, (spoofed) source address, destination
+// port and raw payload. The pipeline decodes the port against the
+// amplification-protocol registry and validates the payload before counting
+// the packet.
+type Datagram struct {
+	// Time is the sensor receive timestamp.
+	Time time.Time
+	// Sensor is the ID of the receiving sensor.
+	Sensor int
+	// Victim is the datagram's source address — under spoofing, the victim
+	// the reflected traffic is aimed at.
+	Victim netip.Addr
+	// Port is the UDP destination port, which selects the protocol.
+	Port int
+	// Payload is the raw request payload.
+	Payload []byte
+}
+
+// Config tunes an Ingestor.
+type Config struct {
+	// Shards is the number of parallel flow-table workers; <= 0 means
+	// GOMAXPROCS.
+	Shards int
+	// Gap is the quiet interval that closes a flow; <= 0 means the paper's
+	// 15-minute honeypot.FlowGap.
+	Gap time.Duration
+	// Start and End bound the weekly panel the pipeline accumulates into
+	// (inclusive of the weeks containing both instants). Required.
+	Start, End time.Time
+	// Geo attributes victims to countries; nil means geo.NewTable().
+	Geo *geo.Table
+	// BatchSize is the number of packets buffered per shard before a
+	// channel hand-off; <= 0 means 256.
+	BatchSize int
+	// QueueDepth is the per-shard channel depth in batches; <= 0 means 16.
+	// A full queue blocks producers: the pipeline's backpressure.
+	QueueDepth int
+	// WatermarkEvery broadcasts the watermark to all shards after this many
+	// ingested packets; <= 0 means 8192.
+	WatermarkEvery int
+	// KeepFlows retains every closed flow in the Result (costly at scale;
+	// meant for tests and small replays).
+	KeepFlows bool
+}
+
+// withDefaults validates cfg and fills zero fields.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Start.IsZero() || cfg.End.IsZero() {
+		return cfg, errors.New("ingest: Config.Start and Config.End are required")
+	}
+	if cfg.End.Before(cfg.Start) {
+		return cfg, fmt.Errorf("ingest: span end %v precedes start %v", cfg.End, cfg.Start)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Gap <= 0 {
+		cfg.Gap = honeypot.FlowGap
+	}
+	if cfg.Geo == nil {
+		cfg.Geo = geo.NewTable()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.WatermarkEvery <= 0 {
+		cfg.WatermarkEvery = 8192
+	}
+	return cfg, nil
+}
+
+// Ingestor is the running pipeline. Ingest and IngestDatagram are safe for
+// concurrent use by multiple producer goroutines; Close stops the shards
+// and returns the merged Result.
+type Ingestor struct {
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+	bufs   bufPool
+	closed atomic.Bool
+
+	packets     atomic.Uint64
+	unknown     atomic.Uint64
+	malformed   atomic.Uint64
+	sinceMark   atomic.Uint64
+	watermark   atomic.Int64 // max packet time seen, unix nanos
+	flowsClosed atomic.Int64
+}
+
+// envelope is one shard-channel message: either a packet batch or a
+// watermark advance.
+type envelope struct {
+	batch []honeypot.Packet
+	mark  time.Time
+}
+
+// shard is one worker: a private flow table plus its input queue. Only the
+// shard's goroutine touches agg and acc; producers touch only mu/pending/ch.
+type shard struct {
+	mu      sync.Mutex
+	pending []honeypot.Packet
+	closed  bool
+	ch      chan envelope
+
+	agg  *honeypot.Aggregator
+	acc  *accumulator
+	late uint64
+}
+
+// New starts an ingestor with cfg.Shards workers.
+func New(cfg Config) (*Ingestor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	in := &Ingestor{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		s := &shard{
+			ch:  make(chan envelope, cfg.QueueDepth),
+			agg: honeypot.NewAggregatorWithGap(cfg.Gap),
+			acc: newAccumulator(&cfg),
+		}
+		in.shards = append(in.shards, s)
+		in.wg.Add(1)
+		go in.run(s)
+	}
+	return in, nil
+}
+
+// run is a shard worker: drain batches into the flow table, harvest closed
+// flows into the shard-local accumulator, and flush everything at shutdown.
+func (in *Ingestor) run(s *shard) {
+	defer in.wg.Done()
+	drain := func(flows []*honeypot.Flow) {
+		for _, f := range flows {
+			s.acc.add(f)
+		}
+		if len(flows) > 0 {
+			in.flowsClosed.Add(int64(len(flows)))
+		}
+	}
+	for env := range s.ch {
+		if !env.mark.IsZero() {
+			s.agg.Advance(env.mark)
+			drain(s.agg.Completed())
+			continue
+		}
+		for _, p := range env.batch {
+			if err := s.agg.Offer(p); err != nil {
+				s.late++
+			}
+		}
+		drain(s.agg.Completed())
+		in.bufs.put(env.batch)
+	}
+	drain(s.agg.Flush())
+}
+
+// FlowsClosed returns the number of flows closed so far, a live progress
+// metric safe to read while producers are running.
+func (in *Ingestor) FlowsClosed() int64 { return in.flowsClosed.Load() }
+
+// IngestDatagram decodes one wire-format datagram and feeds it to the
+// pipeline. Datagrams on unregistered ports or with payloads that fail the
+// protocol's request validation are counted and dropped; the returned error
+// reports why (producers typically log and continue).
+func (in *Ingestor) IngestDatagram(d Datagram) error {
+	proto, ok := protocols.ByPort(d.Port)
+	if !ok {
+		in.unknown.Add(1)
+		return fmt.Errorf("ingest: no amplification protocol on port %d", d.Port)
+	}
+	if err := proto.ValidateRequest(d.Payload); err != nil {
+		in.malformed.Add(1)
+		return fmt.Errorf("ingest: %v request: %w", proto, err)
+	}
+	return in.Ingest(honeypot.Packet{
+		Time:   d.Time,
+		Victim: d.Victim,
+		Proto:  proto,
+		Sensor: d.Sensor,
+		Size:   len(d.Payload),
+	})
+}
+
+// Ingest feeds one already-decoded packet to the pipeline, blocking when
+// the destination shard's queue is full (backpressure).
+func (in *Ingestor) Ingest(p honeypot.Packet) error {
+	if in.closed.Load() {
+		return ErrClosed
+	}
+	in.observe(p.Time)
+	s := in.shards[shardFor(p.Victim, len(in.shards))]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.pending == nil {
+		s.pending = in.bufs.get(in.cfg.BatchSize)
+	}
+	s.pending = append(s.pending, p)
+	// Count before unlocking: Close flushes under this lock, so a packet it
+	// hands to a worker is always already in the packet count.
+	in.packets.Add(1)
+	if len(s.pending) >= in.cfg.BatchSize {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+	if in.sinceMark.Add(1)%uint64(in.cfg.WatermarkEvery) == 0 {
+		in.broadcastWatermark()
+	}
+	return nil
+}
+
+// observe raises the watermark to t if it is the newest timestamp seen.
+func (in *Ingestor) observe(t time.Time) {
+	n := t.UnixNano()
+	for {
+		old := in.watermark.Load()
+		if n <= old || in.watermark.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// broadcastWatermark flushes every shard's pending buffer and enqueues a
+// watermark advance behind it, so shards that stopped receiving packets
+// still expire their quiet flows.
+func (in *Ingestor) broadcastWatermark() {
+	mark := time.Unix(0, in.watermark.Load()).UTC()
+	for _, s := range in.shards {
+		s.mu.Lock()
+		if !s.closed {
+			s.flushLocked()
+			s.ch <- envelope{mark: mark}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// flushLocked hands the pending buffer to the shard worker. The channel
+// send happens under the shard lock so batches from concurrent producers
+// cannot reorder on the queue.
+func (s *shard) flushLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	s.ch <- envelope{batch: s.pending}
+	s.pending = nil
+}
+
+// Close drains the pipeline — flushes pending buffers, closes every open
+// flow — and returns the merged result. The ingestor cannot be reused.
+func (in *Ingestor) Close() (*Result, error) {
+	if in.closed.Swap(true) {
+		return nil, ErrClosed
+	}
+	// The closed flag is re-checked under each shard's lock: a producer
+	// that passed the atomic gate either finishes its enqueue before the
+	// flush below or observes s.closed — it can never send on a closed
+	// channel.
+	for _, s := range in.shards {
+		s.mu.Lock()
+		s.flushLocked()
+		s.closed = true
+		close(s.ch)
+		s.mu.Unlock()
+	}
+	in.wg.Wait()
+
+	accs := make([]*accumulator, len(in.shards))
+	var late uint64
+	for i, s := range in.shards {
+		accs[i] = s.acc
+		late += s.late
+	}
+	res := mergeResult(accs)
+	res.Stats.Packets = in.packets.Load() - late
+	res.Stats.UnknownPort = in.unknown.Load()
+	res.Stats.Malformed = in.malformed.Load()
+	res.Stats.Late = late
+	return res, nil
+}
+
+// Shards returns the worker count (for reporting).
+func (in *Ingestor) Shards() int { return len(in.shards) }
+
+// shardFor maps a victim address to a shard with FNV-1a over the 16-byte
+// form, keeping every flow of a victim on one worker.
+func shardFor(addr netip.Addr, n int) int {
+	if n == 1 {
+		return 0
+	}
+	b := addr.As16()
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// bufPool recycles packet batches between producers and shard workers.
+type bufPool struct{ p sync.Pool }
+
+func (b *bufPool) get(capHint int) []honeypot.Packet {
+	if v := b.p.Get(); v != nil {
+		return (*v.(*[]honeypot.Packet))[:0]
+	}
+	return make([]honeypot.Packet, 0, capHint)
+}
+
+func (b *bufPool) put(s []honeypot.Packet) { b.p.Put(&s) }

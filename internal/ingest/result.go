@@ -1,0 +1,192 @@
+package ingest
+
+import (
+	"sort"
+
+	"booters/internal/geo"
+	"booters/internal/honeypot"
+	"booters/internal/protocols"
+	"booters/internal/timeseries"
+)
+
+// Stats counts what the pipeline saw and decided.
+type Stats struct {
+	// Packets is the number of packets accepted into the flow tables.
+	Packets uint64
+	// UnknownPort counts datagrams dropped for an unregistered UDP port.
+	UnknownPort uint64
+	// Malformed counts datagrams dropped by protocol request validation.
+	Malformed uint64
+	// Late counts packets rejected for arriving more than one quiet gap
+	// behind their shard's stream head.
+	Late uint64
+	// Flows is the number of closed flows.
+	Flows int
+	// Attacks and Scans split the closed flows by the paper's classifier.
+	Attacks, Scans int
+	// Unattributed counts attack flows whose victim is outside the geo
+	// table's address plan.
+	Unattributed int
+	// OutOfSpan counts attack flows whose first packet falls outside the
+	// configured panel span; they are in Attacks but in no weekly series.
+	OutOfSpan int
+}
+
+// Result is the output of a completed ingestion run: the paper's weekly
+// attack panel, incrementally accumulated.
+type Result struct {
+	// Start is the first week of the panel.
+	Start timeseries.Week
+	// Weeks is the panel length.
+	Weeks int
+	// Global is the weekly global attack-count series (unique attacks, no
+	// double-counting).
+	Global *timeseries.Series
+	// ByCountry maps country code to its weekly attributed attack series;
+	// conservative multi-attribution can push the sum above Global.
+	ByCountry map[string]*timeseries.Series
+	// ByProtocol maps protocol to its weekly global attack series.
+	ByProtocol map[protocols.Protocol]*timeseries.Series
+	// Flows holds every closed flow when Config.KeepFlows is set, ordered
+	// by first packet (ties by victim then protocol).
+	Flows []*honeypot.Flow
+	// Stats carries the pipeline counters.
+	Stats Stats
+}
+
+// accumulator folds closed flows into shard-local weekly series; shards own
+// one each so accumulation needs no locks, and Close merges them.
+type accumulator struct {
+	tbl  *geo.Table
+	keep bool
+
+	global     *timeseries.Series
+	byCountry  map[string]*timeseries.Series
+	byProtocol map[protocols.Protocol]*timeseries.Series
+	kept       []*honeypot.Flow
+
+	flows, attacks, scans, unattributed, outOfSpan int
+}
+
+// newAccumulator allocates the weekly panel for the configured span.
+func newAccumulator(cfg *Config) *accumulator {
+	start := timeseries.WeekOf(cfg.Start)
+	weeks := timeseries.WeeksBetween(start, timeseries.WeekOf(cfg.End)) + 1
+	a := &accumulator{
+		tbl:        cfg.Geo,
+		keep:       cfg.KeepFlows,
+		global:     timeseries.NewSeries(start, weeks),
+		byCountry:  make(map[string]*timeseries.Series),
+		byProtocol: make(map[protocols.Protocol]*timeseries.Series),
+	}
+	for _, c := range geo.Countries() {
+		a.byCountry[c] = timeseries.NewSeries(start, weeks)
+	}
+	for _, p := range protocols.All() {
+		a.byProtocol[p] = timeseries.NewSeries(start, weeks)
+	}
+	return a
+}
+
+// add books one closed flow: classify, count, and for attacks credit the
+// week of the first packet globally, per protocol, and per attributed
+// country.
+func (a *accumulator) add(f *honeypot.Flow) {
+	a.flows++
+	if a.keep {
+		a.kept = append(a.kept, f)
+	}
+	if honeypot.Classify(f) != honeypot.Attack {
+		a.scans++
+		return
+	}
+	a.attacks++
+	if a.global.IndexOfTime(f.First) < 0 {
+		a.outOfSpan++
+		return
+	}
+	a.global.Add(f.First, 1)
+	a.byProtocol[f.Key.Proto].Add(f.First, 1)
+	countries, ok := a.tbl.Lookup(f.Key.Victim)
+	if !ok {
+		a.unattributed++
+		return
+	}
+	for _, c := range countries {
+		a.byCountry[c].Add(f.First, 1)
+	}
+}
+
+// mergeResult sums shard accumulators into one Result; all accumulators
+// come from one Config, so their series are aligned by construction.
+// Addition is order-independent, so the merge is deterministic for any
+// shard count.
+func mergeResult(accs []*accumulator) *Result {
+	first := accs[0]
+	res := &Result{
+		Start:      first.global.StartWeek,
+		Weeks:      first.global.Len(),
+		Global:     first.global,
+		ByCountry:  first.byCountry,
+		ByProtocol: first.byProtocol,
+		Flows:      first.kept,
+	}
+	res.Stats.Flows = first.flows
+	res.Stats.Attacks = first.attacks
+	res.Stats.Scans = first.scans
+	res.Stats.Unattributed = first.unattributed
+	res.Stats.OutOfSpan = first.outOfSpan
+	for _, a := range accs[1:] {
+		_ = res.Global.AddSeries(a.global)
+		for c, s := range a.byCountry {
+			_ = res.ByCountry[c].AddSeries(s)
+		}
+		for p, s := range a.byProtocol {
+			_ = res.ByProtocol[p].AddSeries(s)
+		}
+		res.Flows = append(res.Flows, a.kept...)
+		res.Stats.Flows += a.flows
+		res.Stats.Attacks += a.attacks
+		res.Stats.Scans += a.scans
+		res.Stats.Unattributed += a.unattributed
+		res.Stats.OutOfSpan += a.outOfSpan
+	}
+	sort.Slice(res.Flows, func(i, j int) bool {
+		fi, fj := res.Flows[i], res.Flows[j]
+		if !fi.First.Equal(fj.First) {
+			return fi.First.Before(fj.First)
+		}
+		if fi.Key.Victim != fj.Key.Victim {
+			return fi.Key.Victim.Less(fj.Key.Victim)
+		}
+		return fi.Key.Proto < fj.Key.Proto
+	})
+	return res
+}
+
+// Batch is the single-threaded reference implementation: the same packets
+// through one aggregator over the merged time-sorted log, producing a
+// Result with identical flows, classifications and weekly series to a
+// streaming run at any shard count. Tests pin the streaming pipeline
+// against it; small offline jobs can use it directly.
+func Batch(cfg Config, packets []honeypot.Packet) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	acc := newAccumulator(&cfg)
+	agg := honeypot.NewAggregatorWithGap(cfg.Gap)
+	var late uint64
+	for _, p := range packets {
+		if err := agg.Offer(p); err != nil {
+			late++
+		}
+	}
+	for _, f := range agg.Flush() {
+		acc.add(f)
+	}
+	res := mergeResult([]*accumulator{acc})
+	res.Stats.Packets = uint64(len(packets)) - late
+	res.Stats.Late = late
+	return res, nil
+}

@@ -96,12 +96,31 @@ func (p Protocol) Port() int {
 	}
 }
 
-// ByPort returns the protocol registered on the given UDP port.
+// ByPort returns the protocol registered on the given UDP port. It is on
+// the streaming ingestion decode path (one call per datagram), so it is a
+// direct switch rather than a scan over All().
 func ByPort(port int) (Protocol, bool) {
-	for _, p := range All() {
-		if p.Port() == port {
-			return p, true
-		}
+	switch port {
+	case 17:
+		return QOTD, true
+	case 19:
+		return CHARGEN, true
+	case 37:
+		return Time, true
+	case 53:
+		return DNS, true
+	case 111:
+		return PORTMAP, true
+	case 123:
+		return NTP, true
+	case 389:
+		return LDAP, true
+	case 1434:
+		return MSSQL, true
+	case 5353:
+		return MDNS, true
+	case 1900:
+		return SSDP, true
 	}
 	return 0, false
 }
