@@ -12,6 +12,9 @@ package booters
 // routing overhead only, on multicore they measure speedup.
 
 import (
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -19,6 +22,7 @@ import (
 
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
+	"booters/internal/spool"
 )
 
 var (
@@ -109,6 +113,156 @@ func BenchmarkIngestBatchBaseline(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(packets))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 	b.ReportMetric(float64(len(packets)), "packets/op")
+}
+
+// Fan-out benchmarks: the same replay with 1, 2 and 3 sinks attached, all
+// at 4 shards. The acceptance bar is <10% throughput loss for ≥2 sinks
+// versus the panel-only path — per-shard sink branches keep the fan-out
+// off the packet hot path, so the extra cost is per closed flow, not per
+// packet.
+
+// runIngestFanout replays the shared stream with extra sinks built fresh
+// per iteration (a sink instance serves one run).
+func runIngestFanout(b *testing.B, mkSinks func() []ingest.Sink) {
+	packets := benchIngestStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchIngestConfig(4)
+		cfg.Sinks = mkSinks()
+		in, err := ingest.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range packets {
+			if err := in.Ingest(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := in.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Attacks == 0 {
+			b.Fatal("no attacks classified")
+		}
+	}
+	b.ReportMetric(float64(len(packets))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(len(packets)), "packets/op")
+}
+
+func BenchmarkIngestFanoutPanelOnly(b *testing.B) {
+	runIngestFanout(b, func() []ingest.Sink { return nil })
+}
+
+func BenchmarkIngestFanout2Sinks(b *testing.B) {
+	runIngestFanout(b, func() []ingest.Sink {
+		return []ingest.Sink{ingest.NewTopKSink(10)}
+	})
+}
+
+func BenchmarkIngestFanout3Sinks(b *testing.B) {
+	runIngestFanout(b, func() []ingest.Sink {
+		return []ingest.Sink{ingest.NewTopKSink(10), ingest.NewNDJSONSink(io.Discard)}
+	})
+}
+
+// benchSpool records the shared stream to an on-disk spool under the
+// benchmark's temp dir (auto-removed when it finishes), untimed, so the
+// replay benchmarks measure disk replay rather than recording.
+func benchSpool(b *testing.B) string {
+	b.Helper()
+	packets := benchIngestStream(b)
+	dir := filepath.Join(b.TempDir(), "spool")
+	w, err := spool.Create(dir, spool.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range ingest.Datagrams(packets) {
+		if err := w.Append(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkSpoolRecord measures spool write throughput (datagram encode +
+// buffered sequential write).
+func BenchmarkSpoolRecord(b *testing.B) {
+	datagrams := ingest.Datagrams(benchIngestStream(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp(b.TempDir(), "spool")
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := spool.Create(dir, spool.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range datagrams {
+			if err := w.Append(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(datagrams))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(len(datagrams)), "packets/op")
+}
+
+// BenchmarkSpoolRead measures raw sequential replay off disk: decode only,
+// no pipeline behind it.
+func BenchmarkSpoolRead(b *testing.B) {
+	dir := benchSpool(b)
+	want := uint64(len(benchIngestStream(b)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n uint64
+		if err := spool.Replay(dir, func(ingest.Datagram) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != want {
+			b.Fatalf("replayed %d datagrams, want %d", n, want)
+		}
+	}
+	b.ReportMetric(float64(want)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(want), "packets/op")
+}
+
+// BenchmarkSpoolReplay measures the full record-once-replay-many path: the
+// spooled capture streamed from disk through protocol decode and the
+// sharded pipeline into the weekly panel.
+func BenchmarkSpoolReplay(b *testing.B) {
+	dir := benchSpool(b)
+	total := uint64(len(benchIngestStream(b)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := ingest.New(benchIngestConfig(runtime.GOMAXPROCS(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = spool.Replay(dir, func(d ingest.Datagram) error {
+			in.IngestDatagram(d)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := in.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != total {
+			b.Fatalf("replayed %d packets, want %d", res.Stats.Packets, total)
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(total), "packets/op")
 }
 
 // BenchmarkIngestWireDecode replays wire-format datagrams so the per-packet

@@ -18,9 +18,26 @@ import (
 	"booters/internal/report"
 )
 
+const usageText = `bootercountry runs the paper's per-country analyses on the generated
+dataset: Table 2 (per-country intervention effects), Table 3 (country
+shares of attacks), Figure 3 (the country stack), Figure 4 (cross-country
+correlations) and Figure 5 (the UK-vs-US NCA advert-campaign comparison).
+
+Usage:
+
+  bootercountry [-seed N] [-detail]
+
+Flags:
+
+`
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bootercountry: ")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
 	seed := flag.Int64("seed", 20191021, "generator seed")
 	detail := flag.Bool("detail", false, "also print per-country model coefficient tables (the paper omits these for space)")
 	flag.Parse()

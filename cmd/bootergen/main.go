@@ -18,9 +18,27 @@ import (
 	"booters/internal/dataset"
 )
 
+const usageText = `bootergen generates the reproduction's synthetic datasets and writes them
+as CSV: the weekly global, per-country and per-protocol attack panel from
+the honeypot side, and the booter self-report panel from the scraping
+side. The files feed external analyses or the externaldata example's
+load-your-own-data workflow.
+
+Usage:
+
+  bootergen [-seed N] [-out DIR]
+
+Flags:
+
+`
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bootergen: ")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
 	seed := flag.Int64("seed", 20191021, "generator seed")
 	out := flag.String("out", ".", "output directory")
 	flag.Parse()

@@ -1,71 +1,178 @@
-// Command booteringest replays a synthetic reflected-UDP packet stream —
-// generated from the booter-market simulator, so supply shocks and churn
-// shape the volume — through the sharded streaming ingestion pipeline, then
-// reports throughput and the resulting weekly attack series.
+// Command booteringest drives the streaming side of the reproduction: it
+// replays a reflected-UDP packet stream — synthetic, generated from the
+// booter-market simulator so supply shocks and churn shape the volume, or
+// pre-recorded in an on-disk spool — through the sharded ingestion
+// pipeline, then reports throughput, the weekly attack series, and
+// whatever extra sinks were attached.
 //
 // Usage:
 //
 //	booteringest [-seed N] [-shards N] [-weeks N] [-attacks N] [-wire]
+//	             [-record DIR | -replay DIR] [-sinks topk,ndjson]
+//	             [-topk K] [-ndjson FILE] [-shed POLICY] [-queue N]
 //
-// -wire replays wire-format datagrams through the protocol decode path
-// instead of pre-decoded packets (slower; exercises port lookup and request
-// validation per packet).
+// -record DIR generates the synthetic stream, spools it to DIR as
+// wire-format datagrams and exits; -replay DIR streams a previously
+// recorded spool from disk through the pipeline instead of generating.
+// -sinks attaches extra consumers (a country/protocol top-K ranking, an
+// NDJSON flow stream) next to the built-in weekly panel. -shed picks the
+// overload policy for full shard queues: block (lossless backpressure,
+// default), drop-newest or drop-oldest, with dropped packets accounted
+// per sensor. -wire replays wire-format datagrams through the protocol
+// decode path instead of pre-decoded packets.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
+	"booters/internal/honeypot"
 	"booters/internal/ingest"
+	"booters/internal/spool"
 )
+
+const usageText = `booteringest replays a reflected-UDP packet stream through the sharded
+streaming ingestion pipeline and reports throughput, the weekly attack
+series and any attached sinks. The stream is either generated from the
+booter-market simulator (default), recorded once to an on-disk spool
+(-record DIR), or replayed from such a spool at disk speed (-replay DIR).
+
+Usage:
+
+  booteringest [-seed N] [-shards N] [-weeks N] [-attacks N] [-wire]
+               [-record DIR | -replay DIR] [-sinks topk,ndjson]
+               [-topk K] [-ndjson FILE] [-shed POLICY] [-queue N]
+
+Flags:
+
+`
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("booteringest: ")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
 	seed := flag.Int64("seed", 20191021, "stream generator seed")
 	shards := flag.Int("shards", 0, "pipeline shards (0 = GOMAXPROCS)")
 	weeks := flag.Int("weeks", 12, "stream length in weeks")
 	attacks := flag.Float64("attacks", 1000, "mean attack flows per week")
 	wire := flag.Bool("wire", false, "replay wire-format datagrams (exercise protocol decode)")
+	recordDir := flag.String("record", "", "spool the generated stream to this directory and exit")
+	replayDir := flag.String("replay", "", "replay a recorded spool from this directory (implies -wire)")
+	sinksFlag := flag.String("sinks", "", "extra sinks, comma-separated: topk, ndjson")
+	topKFlag := flag.Int("topk", 5, "rows kept by the topk sink")
+	ndjsonPath := flag.String("ndjson", "flows.ndjson", "output file for the ndjson sink")
+	shedFlag := flag.String("shed", "block", "overload policy: block, drop-newest or drop-oldest")
+	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
 	flag.Parse()
 
+	if *recordDir != "" && *replayDir != "" {
+		log.Fatal("-record and -replay are mutually exclusive")
+	}
+	shed, err := ingest.ParseShedPolicy(*shedFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	start := time.Date(2018, time.July, 2, 0, 0, 0, 0, time.UTC)
-	genStart := time.Now()
-	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
-		Seed:           *seed,
-		Start:          start,
-		Weeks:          *weeks,
-		AttacksPerWeek: *attacks,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("generated %d packets over %d weeks in %v\n", len(packets), *weeks, time.Since(genStart).Round(time.Millisecond))
 
-	in, err := ingest.New(ingest.Config{
-		Shards: *shards,
-		Start:  start,
-		End:    start.AddDate(0, 0, 7**weeks-1),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	replayStart := time.Now()
-	if *wire {
+	// Record mode: generate once, spool to disk, report, done.
+	if *recordDir != "" {
+		packets := generate(*seed, start, *weeks, *attacks)
+		recordStart := time.Now()
+		w, err := spool.Create(*recordDir, spool.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, d := range ingest.Datagrams(packets) {
-			if err := in.IngestDatagram(d); err != nil {
+			if err := w.Append(d); err != nil {
 				log.Fatal(err)
 			}
 		}
-	} else {
-		for _, p := range packets {
-			if err := in.Ingest(p); err != nil {
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(recordStart)
+		fmt.Printf("recorded %d datagrams to %s in %v (%.0f datagrams/sec)\n",
+			w.Count(), *recordDir, elapsed.Round(time.Millisecond),
+			float64(w.Count())/elapsed.Seconds())
+		fmt.Println("replay with: booteringest -replay", *recordDir)
+		return
+	}
+
+	// Build the pipeline with any extra sinks.
+	var sinks []ingest.Sink
+	var topk *ingest.TopKSink
+	var ndjson *ingest.NDJSONSink
+	var ndjsonFile *os.File
+	for _, name := range strings.Split(*sinksFlag, ",") {
+		switch strings.TrimSpace(name) {
+		case "":
+		case "topk":
+			topk = ingest.NewTopKSink(*topKFlag)
+			sinks = append(sinks, topk)
+		case "ndjson":
+			f, err := os.Create(*ndjsonPath)
+			if err != nil {
 				log.Fatal(err)
+			}
+			ndjsonFile = f
+			ndjson = ingest.NewNDJSONSink(f)
+			sinks = append(sinks, ndjson)
+		default:
+			log.Fatalf("unknown sink %q (want topk or ndjson)", name)
+		}
+	}
+
+	in, err := ingest.New(ingest.Config{
+		Shards:     *shards,
+		Start:      start,
+		End:        start.AddDate(0, 0, 7**weeks-1),
+		QueueDepth: *queue,
+		Shed:       shed,
+		Sinks:      sinks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed the pipeline: from the spool, or from a generated stream.
+	var fed uint64
+	mode := "pre-decoded"
+	replayStart := time.Now()
+	if *replayDir != "" {
+		mode = "spooled wire-format"
+		err := spool.Replay(*replayDir, func(d ingest.Datagram) error {
+			fed++
+			in.IngestDatagram(d) // decode drops are counted in Stats
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		packets := generate(*seed, start, *weeks, *attacks)
+		replayStart = time.Now()
+		if *wire {
+			mode = "wire-format"
+			for _, d := range ingest.Datagrams(packets) {
+				fed++
+				in.IngestDatagram(d)
+			}
+		} else {
+			for _, p := range packets {
+				fed++
+				if err := in.Ingest(p); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 	}
@@ -74,16 +181,29 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(replayStart)
-
-	mode := "pre-decoded"
-	if *wire {
-		mode = "wire-format"
+	if ndjsonFile != nil {
+		if err := ndjsonFile.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("\ningested %d %s packets through %d shard(s) in %v (%.0f packets/sec, GOMAXPROCS=%d)\n",
-		res.Stats.Packets, mode, in.Shards(), elapsed.Round(time.Millisecond),
-		float64(res.Stats.Packets)/elapsed.Seconds(), runtime.GOMAXPROCS(0))
+
+	fmt.Printf("\ningested %d of %d %s packets through %d shard(s) in %v (%.0f packets/sec, GOMAXPROCS=%d, shed=%v)\n",
+		res.Stats.Packets, fed, mode, in.Shards(), elapsed.Round(time.Millisecond),
+		float64(res.Stats.Packets)/elapsed.Seconds(), runtime.GOMAXPROCS(0), shed)
 	fmt.Printf("flows: %d closed, %d attacks, %d scans, %d late, %d unattributed, %d out-of-span\n",
 		res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans, res.Stats.Late, res.Stats.Unattributed, res.Stats.OutOfSpan)
+	if res.Stats.Shed > 0 {
+		fmt.Printf("shed: %d packets dropped (%v policy), by sensor:", res.Stats.Shed, shed)
+		sensors := make([]int, 0, len(res.Stats.ShedBySensor))
+		for s := range res.Stats.ShedBySensor {
+			sensors = append(sensors, s)
+		}
+		sort.Ints(sensors)
+		for _, s := range sensors {
+			fmt.Printf(" %d:%d", s, res.Stats.ShedBySensor[s])
+		}
+		fmt.Println()
+	}
 
 	// Weekly series: global plus the largest country columns.
 	type countryTotal struct {
@@ -117,4 +237,41 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if topk != nil {
+		fmt.Printf("\ntop %d victim countries (attacks): ", *topKFlag)
+		for i, row := range topk.TopCountries() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %d", row.Country, row.Attacks)
+		}
+		fmt.Printf("\ntop %d protocols (attacks):        ", *topKFlag)
+		for i, row := range topk.TopProtocols() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%v %d", row.Proto, row.Attacks)
+		}
+		fmt.Println()
+	}
+	if ndjson != nil {
+		fmt.Printf("\nstreamed %d flow lines to %s\n", ndjson.Lines(), *ndjsonPath)
+	}
+}
+
+// generate builds the synthetic market-driven packet stream.
+func generate(seed int64, start time.Time, weeks int, attacks float64) []honeypot.Packet {
+	genStart := time.Now()
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           seed,
+		Start:          start,
+		Weeks:          weeks,
+		AttacksPerWeek: attacks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d packets over %d weeks in %v\n", len(packets), weeks, time.Since(genStart).Round(time.Millisecond))
+	return packets
 }

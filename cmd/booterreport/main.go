@@ -15,9 +15,25 @@ import (
 	"booters/internal/core"
 )
 
+const usageText = `booterreport runs every experiment in the reproduction — all tables,
+figures and robustness checks — and writes the EXPERIMENTS.md report
+comparing each measured exhibit against the paper's published values.
+
+Usage:
+
+  booterreport [-seed N] [-o FILE] [-print]
+
+Flags:
+
+`
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("booterreport: ")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
 	seed := flag.Int64("seed", 20191021, "generator seed")
 	out := flag.String("o", "EXPERIMENTS.md", "output file (empty for stdout only)")
 	print := flag.Bool("print", false, "also print rendered exhibits to stdout")

@@ -1,6 +1,7 @@
 package booters
 
 import (
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -74,5 +75,79 @@ func TestIngestorFeedsPanel(t *testing.T) {
 	res.Global.Values[0] = 1e9
 	if panel.Global.Values[0] == 1e9 {
 		t.Error("PanelFromIngest aliases the ingest result's series")
+	}
+}
+
+// TestSpoolRecordReplayFacade drives the record-once-replay-many workflow
+// end to end through the facade: spool a synthetic stream to disk, replay
+// it through a fresh ingestor with a top-K sink attached, and check the
+// replayed panel matches a direct in-memory run.
+func TestSpoolRecordReplayFacade(t *testing.T) {
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           DefaultSeed,
+		Start:          time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC),
+		Weeks:          4,
+		AttacksPerWeek: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "capture")
+	n, err := RecordSpool(dir, packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(packets)) {
+		t.Fatalf("recorded %d datagrams, want %d", n, len(packets))
+	}
+
+	direct, err := NewIngestor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packets {
+		if err := direct.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := direct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	topk := ingest.NewTopKSink(3)
+	in, err := NewIngestor(3, topk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := ReplaySpool(in, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if read != n {
+		t.Fatalf("replayed %d datagrams, recorded %d", read, n)
+	}
+	got, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Stats.Attacks != want.Stats.Attacks || got.Stats.Flows != want.Stats.Flows {
+		t.Errorf("replayed stats: got %+v want %+v", got.Stats, want.Stats)
+	}
+	if gt, wt := got.Global.Total(), want.Global.Total(); gt != wt {
+		t.Errorf("replayed global total: got %v want %v", gt, wt)
+	}
+	ranked := topk.TopCountries()
+	if len(ranked) != 3 {
+		t.Fatalf("top-K countries: got %d rows want 3", len(ranked))
+	}
+	var total int
+	for _, row := range ranked {
+		total += row.Attacks
+	}
+	if total == 0 {
+		t.Error("top-K sink saw no attacks during replay")
 	}
 }

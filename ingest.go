@@ -1,9 +1,13 @@
 package booters
 
 import (
+	"errors"
+
 	"booters/internal/dataset"
+	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/protocols"
+	"booters/internal/spool"
 	"booters/internal/timeseries"
 )
 
@@ -12,12 +16,53 @@ import (
 // GOMAXPROCS). Feed it packets or wire-format datagrams from any number of
 // goroutines, then Close it and pass the result through PanelFromIngest to
 // run the paper's models on the ingested series.
-func NewIngestor(shards int) (*ingest.Ingestor, error) {
+//
+// Optional sinks (ingest.NewTopKSink, ingest.NewNDJSONSink, or your own
+// ingest.Sink) receive every closed flow alongside the built-in weekly
+// panel; each must be a fresh instance.
+func NewIngestor(shards int, sinks ...ingest.Sink) (*ingest.Ingestor, error) {
 	return ingest.New(ingest.Config{
 		Shards: shards,
 		Start:  dataset.SpanStart,
 		End:    dataset.SpanEnd,
+		Sinks:  sinks,
 	})
+}
+
+// RecordSpool re-encodes decoded packets as wire-format datagrams and
+// records them to an on-disk spool directory, so an expensive capture or
+// synthetic market run is generated once and replayed many times (see
+// ReplaySpool). It returns the number of datagrams recorded.
+func RecordSpool(dir string, packets []honeypot.Packet) (uint64, error) {
+	w, err := spool.Create(dir, spool.Options{})
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range ingest.Datagrams(packets) {
+		if err := w.Append(d); err != nil {
+			w.Close()
+			return w.Count(), err
+		}
+	}
+	return w.Count(), w.Close()
+}
+
+// ReplaySpool streams every datagram recorded in the spool directory
+// through the ingestor's wire-format decode path and returns the number of
+// datagrams read. Datagrams the pipeline rejects (unknown port, malformed
+// payload) are counted in its Stats and skipped, mirroring a live sensor
+// that logs and keeps capturing; the replay only stops for spool errors or
+// a closed ingestor.
+func ReplaySpool(in *ingest.Ingestor, dir string) (uint64, error) {
+	var n uint64
+	err := spool.Replay(dir, func(d ingest.Datagram) error {
+		n++
+		if err := in.IngestDatagram(d); errors.Is(err, ingest.ErrClosed) {
+			return err
+		}
+		return nil
+	})
+	return n, err
 }
 
 // PanelFromIngest bridges a completed ingestion run into a dataset.Panel so

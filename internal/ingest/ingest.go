@@ -12,6 +12,13 @@
 // timestamp observed by any producer — is broadcast periodically so idle
 // shards expire quiet flows without any global lock.
 //
+// Closed flows fan out to any number of Sinks — the weekly-panel
+// accumulator is built in; TopKSink and NDJSONSink ship alongside — via
+// per-shard branches, so multi-sink runs add no locks to the per-packet
+// hot path. Overload behaviour is configurable: a full shard queue either
+// blocks producers (lossless backpressure, the default) or sheds load
+// (drop-newest / drop-oldest) with per-sensor drop accounting in Stats.
+//
 // Because flows are keyed by (victim, protocol) and shards are chosen by
 // victim address, every packet of a flow lands on the same shard, so the
 // union of the shards' flows is exactly the flow set a single batch
@@ -56,6 +63,50 @@ type Datagram struct {
 	Payload []byte
 }
 
+// ShedPolicy selects what a producer does when its destination shard's
+// queue is full. The default, ShedBlock, is lossless backpressure; the two
+// drop policies trade completeness for bounded producer latency, with every
+// dropped packet accounted per sensor in Stats.
+type ShedPolicy int
+
+const (
+	// ShedBlock makes producers wait for queue space: nothing is ever
+	// dropped and ingestion slows to the consumer's pace.
+	ShedBlock ShedPolicy = iota
+	// ShedDropNewest drops the incoming batch when the queue is full,
+	// preserving the oldest buffered data (favours continuity of history).
+	ShedDropNewest
+	// ShedDropOldest evicts the queue's oldest batch to admit the new one,
+	// preserving the freshest data (favours current visibility).
+	ShedDropOldest
+)
+
+// String names the policy as booteringest's -shed flag spells it.
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedBlock:
+		return "block"
+	case ShedDropNewest:
+		return "drop-newest"
+	case ShedDropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("ShedPolicy(%d)", int(p))
+}
+
+// ParseShedPolicy parses the flag spelling produced by String.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "block":
+		return ShedBlock, nil
+	case "drop-newest":
+		return ShedDropNewest, nil
+	case "drop-oldest":
+		return ShedDropOldest, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown shed policy %q (want block, drop-newest or drop-oldest)", s)
+}
+
 // Config tunes an Ingestor.
 type Config struct {
 	// Shards is the number of parallel flow-table workers; <= 0 means
@@ -81,6 +132,17 @@ type Config struct {
 	// KeepFlows retains every closed flow in the Result (costly at scale;
 	// meant for tests and small replays).
 	KeepFlows bool
+	// Shed is the overload policy for full shard queues; the zero value is
+	// ShedBlock (lossless backpressure).
+	Shed ShedPolicy
+	// Sinks are additional consumers of closed flows, fanned out alongside
+	// the built-in weekly-panel sink. Each must be a fresh instance.
+	Sinks []Sink
+
+	// testBeforeEnvelope, when set by tests, runs on a shard worker before
+	// each envelope is processed — the hook slow-consumer tests use to park
+	// workers deterministically.
+	testBeforeEnvelope func()
 }
 
 // withDefaults validates cfg and fills zero fields.
@@ -109,6 +171,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.WatermarkEvery <= 0 {
 		cfg.WatermarkEvery = 8192
 	}
+	if cfg.Shed < ShedBlock || cfg.Shed > ShedDropOldest {
+		return cfg, fmt.Errorf("ingest: invalid shed policy %v", cfg.Shed)
+	}
 	return cfg, nil
 }
 
@@ -118,6 +183,8 @@ func (cfg Config) withDefaults() (Config, error) {
 type Ingestor struct {
 	cfg    Config
 	shards []*shard
+	panel  *PanelSink
+	sinks  *sinkSet
 	wg     sync.WaitGroup
 	bufs   bufPool
 	closed atomic.Bool
@@ -138,16 +205,23 @@ type envelope struct {
 }
 
 // shard is one worker: a private flow table plus its input queue. Only the
-// shard's goroutine touches agg and acc; producers touch only mu/pending/ch.
+// shard's goroutine touches agg, branches and sinkErr; producers touch
+// mu/pending/ch and the shed ledger (which the lock also guards).
 type shard struct {
 	mu      sync.Mutex
 	pending []honeypot.Packet
 	closed  bool
 	ch      chan envelope
 
-	agg  *honeypot.Aggregator
-	acc  *accumulator
-	late uint64
+	// shed ledger, guarded by mu (written only by producers on the drop
+	// path, read by Close after the shard is sealed).
+	shed         uint64
+	shedBySensor map[int]uint64
+
+	agg      *honeypot.Aggregator
+	branches []SinkBranch
+	sinkErr  error
+	late     uint64
 }
 
 // New starts an ingestor with cfg.Shards workers.
@@ -156,12 +230,16 @@ func New(cfg Config) (*Ingestor, error) {
 	if err != nil {
 		return nil, err
 	}
-	in := &Ingestor{cfg: cfg}
+	in := &Ingestor{cfg: cfg, panel: NewPanelSink()}
+	in.sinks, err = openSinks(&in.cfg, cfg.Shards, in.panel)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s := &shard{
-			ch:  make(chan envelope, cfg.QueueDepth),
-			agg: honeypot.NewAggregatorWithGap(cfg.Gap),
-			acc: newAccumulator(&cfg),
+			ch:       make(chan envelope, cfg.QueueDepth),
+			agg:      honeypot.NewAggregatorWithGap(cfg.Gap),
+			branches: in.sinks.branches[i],
 		}
 		in.shards = append(in.shards, s)
 		in.wg.Add(1)
@@ -170,19 +248,28 @@ func New(cfg Config) (*Ingestor, error) {
 	return in, nil
 }
 
-// run is a shard worker: drain batches into the flow table, harvest closed
-// flows into the shard-local accumulator, and flush everything at shutdown.
+// run is a shard worker: drain batches into the flow table, classify each
+// closed flow once and fan it out to every sink branch the shard owns, and
+// flush everything at shutdown.
 func (in *Ingestor) run(s *shard) {
 	defer in.wg.Done()
 	drain := func(flows []*honeypot.Flow) {
 		for _, f := range flows {
-			s.acc.add(f)
+			c := honeypot.Classify(f)
+			for _, b := range s.branches {
+				if err := b.Consume(f, c); err != nil && s.sinkErr == nil {
+					s.sinkErr = err
+				}
+			}
 		}
 		if len(flows) > 0 {
 			in.flowsClosed.Add(int64(len(flows)))
 		}
 	}
 	for env := range s.ch {
+		if in.cfg.testBeforeEnvelope != nil {
+			in.cfg.testBeforeEnvelope()
+		}
 		if !env.mark.IsZero() {
 			s.agg.Advance(env.mark)
 			drain(s.agg.Completed())
@@ -247,7 +334,7 @@ func (in *Ingestor) Ingest(p honeypot.Packet) error {
 	// hands to a worker is always already in the packet count.
 	in.packets.Add(1)
 	if len(s.pending) >= in.cfg.BatchSize {
-		s.flushLocked()
+		in.flushLocked(s)
 	}
 	s.mu.Unlock()
 	if in.sinceMark.Add(1)%uint64(in.cfg.WatermarkEvery) == 0 {
@@ -269,32 +356,95 @@ func (in *Ingestor) observe(t time.Time) {
 
 // broadcastWatermark flushes every shard's pending buffer and enqueues a
 // watermark advance behind it, so shards that stopped receiving packets
-// still expire their quiet flows.
+// still expire their quiet flows. Under a drop policy a full queue sheds
+// the mark too — marks are monotonic and periodic, so a later one catches
+// the shard up.
 func (in *Ingestor) broadcastWatermark() {
 	mark := time.Unix(0, in.watermark.Load()).UTC()
 	for _, s := range in.shards {
 		s.mu.Lock()
 		if !s.closed {
-			s.flushLocked()
-			s.ch <- envelope{mark: mark}
+			in.flushLocked(s)
+			in.send(s, envelope{mark: mark})
 		}
 		s.mu.Unlock()
 	}
 }
 
-// flushLocked hands the pending buffer to the shard worker. The channel
-// send happens under the shard lock so batches from concurrent producers
-// cannot reorder on the queue.
-func (s *shard) flushLocked() {
+// flushLocked hands the pending buffer to the shard worker, applying the
+// shed policy. The enqueue happens under the shard lock so batches from
+// concurrent producers cannot reorder on the queue.
+func (in *Ingestor) flushLocked(s *shard) {
 	if len(s.pending) == 0 {
 		return
 	}
-	s.ch <- envelope{batch: s.pending}
+	env := envelope{batch: s.pending}
 	s.pending = nil
+	in.send(s, env)
+}
+
+// send enqueues one envelope on the shard's queue under the configured
+// overload policy. It runs with s.mu held, so per-shard sends (and the
+// shed ledger) are serialised; the worker drains concurrently.
+func (in *Ingestor) send(s *shard, env envelope) {
+	switch in.cfg.Shed {
+	case ShedBlock:
+		s.ch <- env
+	case ShedDropNewest:
+		select {
+		case s.ch <- env:
+		default:
+			in.drop(s, env)
+		}
+	case ShedDropOldest:
+		if env.batch == nil {
+			// A watermark is not worth evicting buffered data for: it
+			// carries no packets and the next broadcast replaces it.
+			select {
+			case s.ch <- env:
+			default:
+			}
+			return
+		}
+		for {
+			select {
+			case s.ch <- env:
+				return
+			default:
+			}
+			// Queue full: evict its oldest envelope to make room. The
+			// worker may drain it first, in which case the next send
+			// attempt succeeds.
+			select {
+			case old := <-s.ch:
+				in.drop(s, old)
+			default:
+			}
+		}
+	}
+}
+
+// drop sheds one envelope: batch packets are counted against their sensors
+// in the shard's fairness ledger and the buffer is recycled; watermark
+// envelopes carry no data and vanish silently.
+func (in *Ingestor) drop(s *shard, env envelope) {
+	if env.batch == nil {
+		return
+	}
+	if s.shedBySensor == nil {
+		s.shedBySensor = make(map[int]uint64)
+	}
+	for _, p := range env.batch {
+		s.shedBySensor[p.Sensor]++
+	}
+	s.shed += uint64(len(env.batch))
+	in.bufs.put(env.batch)
 }
 
 // Close drains the pipeline — flushes pending buffers, closes every open
-// flow — and returns the merged result. The ingestor cannot be reused.
+// flow, flushes every sink — and returns the merged result. The ingestor
+// cannot be reused. If a sink failed, Close reports the first error but
+// still returns the Result, so the panel survives an export failure.
 func (in *Ingestor) Close() (*Result, error) {
 	if in.closed.Swap(true) {
 		return nil, ErrClosed
@@ -305,25 +455,40 @@ func (in *Ingestor) Close() (*Result, error) {
 	// channel.
 	for _, s := range in.shards {
 		s.mu.Lock()
-		s.flushLocked()
+		in.flushLocked(s)
 		s.closed = true
 		close(s.ch)
 		s.mu.Unlock()
 	}
 	in.wg.Wait()
 
-	accs := make([]*accumulator, len(in.shards))
-	var late uint64
-	for i, s := range in.shards {
-		accs[i] = s.acc
+	var late, shed uint64
+	var shedBySensor map[int]uint64
+	var sinkErr error
+	for _, s := range in.shards {
 		late += s.late
+		shed += s.shed
+		for sensor, n := range s.shedBySensor {
+			if shedBySensor == nil {
+				shedBySensor = make(map[int]uint64)
+			}
+			shedBySensor[sensor] += n
+		}
+		if s.sinkErr != nil && sinkErr == nil {
+			sinkErr = s.sinkErr
+		}
 	}
-	res := mergeResult(accs)
-	res.Stats.Packets = in.packets.Load() - late
+	if err := in.sinks.flush(); err != nil && sinkErr == nil {
+		sinkErr = err
+	}
+	res := in.panel.Result()
+	res.Stats.Packets = in.packets.Load() - late - shed
 	res.Stats.UnknownPort = in.unknown.Load()
 	res.Stats.Malformed = in.malformed.Load()
 	res.Stats.Late = late
-	return res, nil
+	res.Stats.Shed = shed
+	res.Stats.ShedBySensor = shedBySensor
+	return res, sinkErr
 }
 
 // Shards returns the worker count (for reporting).

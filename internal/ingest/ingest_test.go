@@ -3,6 +3,7 @@ package ingest
 import (
 	"fmt"
 	"net/netip"
+	"reflect"
 	"testing"
 	"time"
 
@@ -90,9 +91,13 @@ func TestStreamingMatchesBatch(t *testing.T) {
 	}
 }
 
+// statsEqual compares Stats including the per-sensor shed ledger (Stats
+// holds a map, so it is not directly comparable).
+func statsEqual(a, b Stats) bool { return reflect.DeepEqual(a, b) }
+
 func compareResults(t *testing.T, want, got *Result) {
 	t.Helper()
-	if got.Stats != want.Stats {
+	if !statsEqual(got.Stats, want.Stats) {
 		t.Errorf("stats: got %+v want %+v", got.Stats, want.Stats)
 	}
 	compareSeries(t, "global", want.Global, got.Global)
@@ -153,7 +158,7 @@ func TestStreamingMatchesBatchWithShocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := runStream(t, testConfig(4, 6, false), packets)
-	if got.Stats != want.Stats {
+	if !statsEqual(got.Stats, want.Stats) {
 		t.Errorf("stats: got %+v want %+v", got.Stats, want.Stats)
 	}
 	compareSeries(t, "global", want.Global, got.Global)

@@ -30,6 +30,14 @@ type Stats struct {
 	// OutOfSpan counts attack flows whose first packet falls outside the
 	// configured panel span; they are in Attacks but in no weekly series.
 	OutOfSpan int
+	// Shed counts packets dropped by the load-shedding policy because a
+	// shard queue was full (always zero under ShedBlock).
+	Shed uint64
+	// ShedBySensor splits Shed by the dropped packets' sensor ID — the
+	// per-producer fairness ledger: in deployment each sensor capture loop
+	// is one producer, so a skewed map means shedding is starving specific
+	// producers rather than spreading the loss. Nil when nothing was shed.
+	ShedBySensor map[int]uint64
 }
 
 // Result is the output of a completed ingestion run: the paper's weekly
@@ -54,8 +62,9 @@ type Result struct {
 	Stats Stats
 }
 
-// accumulator folds closed flows into shard-local weekly series; shards own
-// one each so accumulation needs no locks, and Close merges them.
+// accumulator folds closed flows into shard-local weekly series; it is
+// PanelSink's branch type, so shards own one each, accumulation needs no
+// locks, and Flush merges them.
 type accumulator struct {
 	tbl  *geo.Table
 	keep bool
@@ -88,33 +97,34 @@ func newAccumulator(cfg *Config) *accumulator {
 	return a
 }
 
-// add books one closed flow: classify, count, and for attacks credit the
+// Consume books one closed flow: count it, and for attacks credit the
 // week of the first packet globally, per protocol, and per attributed
-// country.
-func (a *accumulator) add(f *honeypot.Flow) {
+// country. The returned error is always nil.
+func (a *accumulator) Consume(f *honeypot.Flow, c honeypot.Classification) error {
 	a.flows++
 	if a.keep {
 		a.kept = append(a.kept, f)
 	}
-	if honeypot.Classify(f) != honeypot.Attack {
+	if c != honeypot.Attack {
 		a.scans++
-		return
+		return nil
 	}
 	a.attacks++
 	if a.global.IndexOfTime(f.First) < 0 {
 		a.outOfSpan++
-		return
+		return nil
 	}
 	a.global.Add(f.First, 1)
 	a.byProtocol[f.Key.Proto].Add(f.First, 1)
 	countries, ok := a.tbl.Lookup(f.Key.Victim)
 	if !ok {
 		a.unattributed++
-		return
+		return nil
 	}
 	for _, c := range countries {
 		a.byCountry[c].Add(f.First, 1)
 	}
+	return nil
 }
 
 // mergeResult sums shard accumulators into one Result; all accumulators
@@ -167,14 +177,20 @@ func mergeResult(accs []*accumulator) *Result {
 // Batch is the single-threaded reference implementation: the same packets
 // through one aggregator over the merged time-sorted log, producing a
 // Result with identical flows, classifications and weekly series to a
-// streaming run at any shard count. Tests pin the streaming pipeline
+// streaming run at any shard count. Config.Sinks are honoured too — each
+// sink opens a single branch — so every sink's batch output is the
+// reference for its streaming output. Tests pin the streaming pipeline
 // against it; small offline jobs can use it directly.
 func Batch(cfg Config, packets []honeypot.Packet) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	acc := newAccumulator(&cfg)
+	panel := NewPanelSink()
+	sinks, err := openSinks(&cfg, 1, panel)
+	if err != nil {
+		return nil, err
+	}
 	agg := honeypot.NewAggregatorWithGap(cfg.Gap)
 	var late uint64
 	for _, p := range packets {
@@ -182,11 +198,20 @@ func Batch(cfg Config, packets []honeypot.Packet) (*Result, error) {
 			late++
 		}
 	}
+	var sinkErr error
 	for _, f := range agg.Flush() {
-		acc.add(f)
+		c := honeypot.Classify(f)
+		for _, b := range sinks.branches[0] {
+			if err := b.Consume(f, c); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+		}
 	}
-	res := mergeResult([]*accumulator{acc})
+	if err := sinks.flush(); err != nil && sinkErr == nil {
+		sinkErr = err
+	}
+	res := panel.Result()
 	res.Stats.Packets = uint64(len(packets)) - late
 	res.Stats.Late = late
-	return res, nil
+	return res, sinkErr
 }

@@ -1,0 +1,208 @@
+package ingest
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"booters/internal/honeypot"
+	"booters/internal/protocols"
+)
+
+// parkWorker returns a testBeforeEnvelope hook that parks the first shard
+// worker to process an envelope: entered closes when the worker is parked
+// (its envelope already taken off the queue), release lets it resume. With
+// one shard this turns the consumer deterministically slow so producers
+// fill the queue and the shed policies trigger on command.
+func parkWorker() (hook func(), entered <-chan struct{}, release func()) {
+	e := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(e)
+			<-gate
+		})
+	}, e, func() { close(gate) }
+}
+
+// shedTestConfig is a one-shard pipeline with single-packet batches, a
+// two-envelope queue and watermarks disabled, so each Ingest call maps to
+// exactly one queue envelope.
+func shedTestConfig(shed ShedPolicy, hook func()) Config {
+	return Config{
+		Shards:             1,
+		Start:              testStart,
+		End:                testStart.AddDate(0, 0, 6),
+		BatchSize:          1,
+		QueueDepth:         2,
+		WatermarkEvery:     1 << 30,
+		Shed:               shed,
+		testBeforeEnvelope: hook,
+	}
+}
+
+// shedPacket is one packet from the given sensor (the producer identity
+// the fairness ledger tracks), a few seconds apart so nothing is late.
+func shedPacket(i, sensor int) honeypot.Packet {
+	return honeypot.Packet{
+		Time:   testStart.Add(time.Duration(i) * time.Second),
+		Victim: netip.MustParseAddr("10.9.9.9"),
+		Proto:  protocols.DNS,
+		Sensor: sensor,
+		Size:   64,
+	}
+}
+
+// TestShedDropNewestAccounting parks the worker, fills the queue and
+// checks that drop-newest sheds exactly the packets that arrived after the
+// queue filled, charged to their sensors.
+func TestShedDropNewestAccounting(t *testing.T) {
+	hook, entered, release := parkWorker()
+	in, err := New(shedTestConfig(ShedDropNewest, hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, in, shedPacket(0, 0)) // taken by the worker, which parks
+	<-entered
+	mustIngest(t, in, shedPacket(1, 1)) // fills queue slot 1
+	mustIngest(t, in, shedPacket(2, 2)) // fills queue slot 2
+	mustIngest(t, in, shedPacket(3, 3)) // queue full: shed
+	mustIngest(t, in, shedPacket(4, 4)) // queue full: shed
+	release()
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shed != 2 {
+		t.Errorf("shed: got %d want 2", res.Stats.Shed)
+	}
+	want := map[int]uint64{3: 1, 4: 1}
+	if !statsEqual(Stats{ShedBySensor: want}, Stats{ShedBySensor: res.Stats.ShedBySensor}) {
+		t.Errorf("shed by sensor: got %v want %v (drop-newest must shed the late arrivals)", res.Stats.ShedBySensor, want)
+	}
+	if res.Stats.Packets != 3 || res.Stats.Late != 0 {
+		t.Errorf("survivors: got %d packets, %d late; want 3, 0", res.Stats.Packets, res.Stats.Late)
+	}
+	if got := res.Stats.Packets + res.Stats.Shed + res.Stats.Late; got != 5 {
+		t.Errorf("accounting identity: packets+shed+late = %d, want 5", got)
+	}
+}
+
+// TestShedDropOldestAccounting checks the mirror-image policy: the queue's
+// oldest buffered packets are evicted and the freshest survive.
+func TestShedDropOldestAccounting(t *testing.T) {
+	hook, entered, release := parkWorker()
+	in, err := New(shedTestConfig(ShedDropOldest, hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, in, shedPacket(0, 0))
+	<-entered
+	mustIngest(t, in, shedPacket(1, 1))
+	mustIngest(t, in, shedPacket(2, 2))
+	mustIngest(t, in, shedPacket(3, 3)) // evicts sensor 1's packet
+	mustIngest(t, in, shedPacket(4, 4)) // evicts sensor 2's packet
+	release()
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shed != 2 {
+		t.Errorf("shed: got %d want 2", res.Stats.Shed)
+	}
+	want := map[int]uint64{1: 1, 2: 1}
+	if !statsEqual(Stats{ShedBySensor: want}, Stats{ShedBySensor: res.Stats.ShedBySensor}) {
+		t.Errorf("shed by sensor: got %v want %v (drop-oldest must evict the queue head)", res.Stats.ShedBySensor, want)
+	}
+	if got := res.Stats.Packets + res.Stats.Shed + res.Stats.Late; got != 5 {
+		t.Errorf("accounting identity: packets+shed+late = %d, want 5", got)
+	}
+}
+
+// TestDropOldestMarksDoNotEvict checks that a watermark broadcast hitting
+// a full queue under drop-oldest is itself discarded rather than evicting
+// buffered packets: marks carry no data and the next broadcast replaces
+// them.
+func TestDropOldestMarksDoNotEvict(t *testing.T) {
+	hook, entered, release := parkWorker()
+	in, err := New(shedTestConfig(ShedDropOldest, hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, in, shedPacket(0, 0))
+	<-entered
+	mustIngest(t, in, shedPacket(1, 1))
+	mustIngest(t, in, shedPacket(2, 2)) // queue now full of packet batches
+	in.broadcastWatermark()             // must not evict either batch
+	release()
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shed != 0 || res.Stats.Packets != 3 {
+		t.Errorf("watermark evicted data: %+v", res.Stats)
+	}
+}
+
+// TestShedBlockBackpressure checks the default policy under the same slow
+// consumer: the producer stalls instead of losing anything, and once the
+// worker resumes every packet is accounted for with a nil shed ledger.
+func TestShedBlockBackpressure(t *testing.T) {
+	hook, entered, release := parkWorker()
+	in, err := New(shedTestConfig(ShedBlock, hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustIngest(t, in, shedPacket(0, 0))
+	<-entered
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i < 10; i++ {
+			if err := in.Ingest(shedPacket(i, i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// With the worker parked the queue holds at most two envelopes, so the
+	// producer cannot have finished all nine sends: done closing now would
+	// mean the policy dropped or overran.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("producer finished against a parked worker: block policy did not backpressure")
+	default:
+	}
+	release()
+	<-done
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shed != 0 || res.Stats.ShedBySensor != nil {
+		t.Errorf("block policy shed packets: %+v", res.Stats)
+	}
+	if res.Stats.Packets != 10 || res.Stats.Late != 0 {
+		t.Errorf("packets: got %d (late %d) want 10 lossless", res.Stats.Packets, res.Stats.Late)
+	}
+}
+
+// TestShedPolicyValidation covers the flag spellings and the Config check.
+func TestShedPolicyValidation(t *testing.T) {
+	for _, p := range []ShedPolicy{ShedBlock, ShedDropNewest, ShedDropOldest} {
+		got, err := ParseShedPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseShedPolicy("drop-all"); err == nil {
+		t.Error("ParseShedPolicy(drop-all): want error")
+	}
+	cfg := shedTestConfig(ShedPolicy(42), nil)
+	if _, err := New(cfg); err == nil {
+		t.Error("New with invalid shed policy: want error")
+	}
+}

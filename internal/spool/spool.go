@@ -1,0 +1,332 @@
+// Package spool implements a compact append-only on-disk datagram spool:
+// record a packet capture (or a synthetic market run) once, then replay it
+// repeatedly at sequential-read speed through any shard/sink configuration
+// of the streaming pipeline.
+//
+// A spool is a directory of numbered segment files. Each segment starts
+// with an 8-byte magic ("BOOTSPL1") and is followed by records. A record
+// is a fixed 32-byte header — receive time (unix nanoseconds), victim
+// address (16 bytes, IPv4 stored 4-in-6), UDP port, sensor ID, payload
+// length — then the raw payload bytes. The fixed header means replay is a
+// straight sequential read with no per-record framing decisions, and a
+// truncated tail (a crashed writer) is detected rather than silently
+// swallowed.
+//
+// The Writer rotates segments at a configurable size so multi-billion
+// packet captures stay as a set of bounded files; the Reader iterates the
+// segments in order, transparently crossing boundaries.
+package spool
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"booters/internal/ingest"
+)
+
+// ErrCorrupt reports a segment whose bytes cannot be a whole record
+// stream: a bad magic, or a record cut off mid-header or mid-payload.
+var ErrCorrupt = errors.New("spool: corrupt segment")
+
+const (
+	magic            = "BOOTSPL1"
+	recordHeaderSize = 32
+	segmentExt       = ".seg"
+	// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+	// is unset: 64 MiB, about two million spooled request datagrams.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// Options tunes a Writer.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the current one
+	// reaches this many bytes; <= 0 means DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+// Writer appends datagrams to a spool directory. It is not safe for
+// concurrent use; a capture loop owns one writer.
+type Writer struct {
+	dir      string
+	segBytes int64
+
+	seg int
+	f   *os.File
+	bw  *bufio.Writer
+	cur int64
+	n   uint64
+	err error
+
+	hdr [recordHeaderSize]byte
+}
+
+// Create opens a fresh spool in dir, creating the directory if needed. It
+// refuses a directory that already holds segments: a spool is written
+// once, and clobbering or interleaving an existing capture is never what
+// the caller wants.
+func Create(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	existing, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(existing) > 0 {
+		return nil, fmt.Errorf("spool: %s already holds %d segment(s)", dir, len(existing))
+	}
+	w := &Writer{dir: dir, segBytes: opts.SegmentBytes}
+	if w.segBytes <= 0 {
+		w.segBytes = DefaultSegmentBytes
+	}
+	if err := w.rotate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// rotate closes the current segment (if any) and starts the next one.
+func (w *Writer) rotate() error {
+	if w.f != nil {
+		if err := w.closeSegment(); err != nil {
+			return err
+		}
+	}
+	name := filepath.Join(w.dir, fmt.Sprintf("%08d%s", w.seg, segmentExt))
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	w.seg++
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 256<<10)
+	w.cur = 0
+	if _, err := w.bw.WriteString(magic); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	w.cur += int64(len(magic))
+	return nil
+}
+
+// closeSegment flushes and closes the current segment file.
+func (w *Writer) closeSegment() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("spool: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	w.f = nil
+	return nil
+}
+
+// Append records one datagram. Errors are sticky: after the first failure
+// every subsequent Append returns the same error.
+func (w *Writer) Append(d ingest.Datagram) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !d.Victim.IsValid() {
+		return fmt.Errorf("spool: datagram has no victim address")
+	}
+	if len(d.Payload) > 0xFFFF {
+		return fmt.Errorf("spool: payload of %d bytes exceeds the 64 KiB record limit", len(d.Payload))
+	}
+	if d.Port < 0 || d.Port > 0xFFFF {
+		return fmt.Errorf("spool: port %d out of range", d.Port)
+	}
+	if d.Sensor < 0 || int64(d.Sensor) > 0xFFFFFFFF {
+		return fmt.Errorf("spool: sensor %d out of range", d.Sensor)
+	}
+	if w.cur >= w.segBytes {
+		if err := w.rotate(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	b := w.hdr[:]
+	binary.BigEndian.PutUint64(b[0:8], uint64(d.Time.UnixNano()))
+	v16 := d.Victim.As16()
+	copy(b[8:24], v16[:])
+	binary.BigEndian.PutUint16(b[24:26], uint16(d.Port))
+	binary.BigEndian.PutUint32(b[26:30], uint32(d.Sensor))
+	binary.BigEndian.PutUint16(b[30:32], uint16(len(d.Payload)))
+	if _, err := w.bw.Write(b); err != nil {
+		w.err = fmt.Errorf("spool: %w", err)
+		return w.err
+	}
+	if _, err := w.bw.Write(d.Payload); err != nil {
+		w.err = fmt.Errorf("spool: %w", err)
+		return w.err
+	}
+	w.cur += recordHeaderSize + int64(len(d.Payload))
+	w.n++
+	return nil
+}
+
+// Count returns the number of datagrams appended so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Close flushes and closes the spool. The writer cannot be reused.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return w.err
+	}
+	err := w.closeSegment()
+	if w.err == nil {
+		w.err = errors.New("spool: writer closed")
+	}
+	return err
+}
+
+// Reader replays a spool directory sequentially. It is not safe for
+// concurrent use; open one reader per replay.
+type Reader struct {
+	segs []string
+	i    int
+	f    *os.File
+	br   *bufio.Reader
+	n    uint64
+	hdr  [recordHeaderSize]byte
+}
+
+// Open opens a spool directory for sequential replay.
+func Open(dir string) (*Reader, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("spool: no segments in %s", dir)
+	}
+	r := &Reader{segs: segs}
+	if err := r.openSegment(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// openSegment opens segment r.i and validates its magic.
+func (r *Reader) openSegment() error {
+	f, err := os.Open(r.segs[r.i])
+	if err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 256<<10)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
+		f.Close()
+		return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, r.segs[r.i])
+	}
+	r.f = f
+	r.br = br
+	return nil
+}
+
+// Next returns the next datagram in spool order, io.EOF after the last
+// one, or an error wrapping ErrCorrupt for a cut-off record.
+func (r *Reader) Next() (ingest.Datagram, error) {
+	for {
+		b := r.hdr[:]
+		_, err := io.ReadFull(r.br, b)
+		if err == io.EOF {
+			// Clean segment boundary: move to the next file, or finish.
+			r.f.Close()
+			r.f = nil
+			r.i++
+			if r.i >= len(r.segs) {
+				return ingest.Datagram{}, io.EOF
+			}
+			if err := r.openSegment(); err != nil {
+				return ingest.Datagram{}, err
+			}
+			continue
+		}
+		if err != nil {
+			return ingest.Datagram{}, fmt.Errorf("%w: %s: record header cut off", ErrCorrupt, r.segs[r.i])
+		}
+		var d ingest.Datagram
+		d.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC()
+		var v16 [16]byte
+		copy(v16[:], b[8:24])
+		addr := netip.AddrFrom16(v16)
+		if addr.Is4In6() {
+			addr = addr.Unmap()
+		}
+		d.Victim = addr
+		d.Port = int(binary.BigEndian.Uint16(b[24:26]))
+		d.Sensor = int(binary.BigEndian.Uint32(b[26:30]))
+		if n := int(binary.BigEndian.Uint16(b[30:32])); n > 0 {
+			d.Payload = make([]byte, n)
+			if _, err := io.ReadFull(r.br, d.Payload); err != nil {
+				return ingest.Datagram{}, fmt.Errorf("%w: %s: payload cut off", ErrCorrupt, r.segs[r.i])
+			}
+		}
+		r.n++
+		return d, nil
+	}
+}
+
+// Count returns the number of datagrams returned so far.
+func (r *Reader) Count() uint64 { return r.n }
+
+// Close releases the reader's current segment file.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// Replay streams every datagram in the spool through fn, stopping at the
+// first error fn returns.
+func Replay(dir string, fn func(ingest.Datagram) error) error {
+	r, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+}
+
+// segments lists dir's segment files in replay order.
+func segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == segmentExt {
+			segs = append(segs, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}

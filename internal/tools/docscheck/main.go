@@ -1,0 +1,111 @@
+// Command docscheck is the CI documentation gate: it fails, listing the
+// offenders, if any Go package under internal/ or cmd/ is missing a
+// package comment (the doc paragraph above the package clause that go doc
+// and pkg.go.dev render, and that each command's -h usage mirrors).
+//
+// Usage:
+//
+//	go run ./internal/tools/docscheck [ROOT ...]
+//
+// ROOT defaults to "internal cmd", resolved relative to the working
+// directory, which CI sets to the repository root.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	var undocumented []string
+	for _, root := range roots {
+		if _, err := os.Stat(root); os.IsNotExist(err) {
+			continue
+		}
+		dirs, err := goPackageDirs(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			ok, err := hasPackageComment(dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+				os.Exit(2)
+			}
+			if !ok {
+				undocumented = append(undocumented, dir)
+			}
+		}
+	}
+	if len(undocumented) > 0 {
+		sort.Strings(undocumented)
+		fmt.Fprintln(os.Stderr, "docscheck: packages missing a package comment:")
+		for _, dir := range undocumented {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// goPackageDirs returns every directory under root holding at least one
+// non-test Go file.
+func goPackageDirs(root string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && isSourceFile(d.Name()) {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for dir := range seen {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// isSourceFile reports whether name is a non-test Go source file.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// hasPackageComment reports whether any non-test Go file in dir carries a
+// doc comment on its package clause.
+func hasPackageComment(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && len(f.Doc.List) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
