@@ -169,11 +169,15 @@ func BenchmarkIngestFanout3Sinks(b *testing.B) {
 // benchSpool records the shared stream to an on-disk spool under the
 // benchmark's temp dir (auto-removed when it finishes), untimed, so the
 // replay benchmarks measure disk replay rather than recording.
-func benchSpool(b *testing.B) string {
+func benchSpool(b *testing.B, codecName string) string {
 	b.Helper()
 	packets := benchIngestStream(b)
+	codec, err := spool.CodecByName(codecName)
+	if err != nil {
+		b.Fatal(err)
+	}
 	dir := filepath.Join(b.TempDir(), "spool")
-	w, err := spool.Create(dir, spool.Options{})
+	w, err := spool.Create(dir, spool.Options{Codec: codec})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -188,17 +192,39 @@ func benchSpool(b *testing.B) string {
 	return dir
 }
 
-// BenchmarkSpoolRecord measures spool write throughput (datagram encode +
-// buffered sequential write).
-func BenchmarkSpoolRecord(b *testing.B) {
+// reportSpoolFootprint attaches the on-disk cost to a spool benchmark:
+// stored bytes/packet, which is numerically MB per million packets — the
+// ROADMAP's cold-capture footprint metric.
+func reportSpoolFootprint(b *testing.B, dir string, packets uint64) {
+	b.Helper()
+	idx, err := spool.LoadIndex(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stored uint64
+	for _, s := range idx.Segments {
+		stored += s.StoredBytes
+	}
+	b.ReportMetric(float64(stored)/float64(packets), "bytes/packet")
+}
+
+// runSpoolRecord measures spool write throughput (datagram encode +
+// block framing + optional compression + buffered sequential write) and
+// reports the resulting bytes/packet footprint.
+func runSpoolRecord(b *testing.B, codecName string) {
 	datagrams := ingest.Datagrams(benchIngestStream(b))
+	var lastDir string
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dir, err := os.MkdirTemp(b.TempDir(), "spool")
 		if err != nil {
 			b.Fatal(err)
 		}
-		w, err := spool.Create(dir, spool.Options{})
+		codec, err := spool.CodecByName(codecName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := spool.Create(dir, spool.Options{Codec: codec})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,35 +236,50 @@ func BenchmarkSpoolRecord(b *testing.B) {
 		if err := w.Close(); err != nil {
 			b.Fatal(err)
 		}
+		lastDir = dir
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(len(datagrams))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 	b.ReportMetric(float64(len(datagrams)), "packets/op")
+	reportSpoolFootprint(b, lastDir, uint64(len(datagrams)))
 }
 
-// BenchmarkSpoolRead measures raw sequential replay off disk: decode only,
-// no pipeline behind it.
-func BenchmarkSpoolRead(b *testing.B) {
-	dir := benchSpool(b)
+func BenchmarkSpoolRecord(b *testing.B)    { runSpoolRecord(b, "none") }
+func BenchmarkSpoolRecordLZ4(b *testing.B) { runSpoolRecord(b, "lz4") }
+
+// runSpoolRead measures raw replay off disk — decode only, no pipeline
+// behind it — at the given reader count.
+func runSpoolRead(b *testing.B, codecName string, workers int) {
+	dir := benchSpool(b, codecName)
 	want := uint64(len(benchIngestStream(b)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var n uint64
-		if err := spool.Replay(dir, func(ingest.Datagram) error { n++; return nil }); err != nil {
+		stats, err := spool.ReplayWindow(dir, spool.ReplayOptions{Workers: workers}, func(ingest.Datagram) error { n++; return nil })
+		if err != nil {
 			b.Fatal(err)
 		}
-		if n != want {
-			b.Fatalf("replayed %d datagrams, want %d", n, want)
+		if n != want || stats.DataLost() {
+			b.Fatalf("replayed %d datagrams (want %d), torn=%v", n, want, stats.Torn)
 		}
 	}
+	b.StopTimer()
 	b.ReportMetric(float64(want)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 	b.ReportMetric(float64(want), "packets/op")
+	reportSpoolFootprint(b, dir, want)
 }
 
-// BenchmarkSpoolReplay measures the full record-once-replay-many path: the
-// spooled capture streamed from disk through protocol decode and the
+func BenchmarkSpoolRead(b *testing.B)            { runSpoolRead(b, "none", 1) }
+func BenchmarkSpoolRead4Readers(b *testing.B)    { runSpoolRead(b, "none", 4) }
+func BenchmarkSpoolReadLZ4(b *testing.B)         { runSpoolRead(b, "lz4", 1) }
+func BenchmarkSpoolReadLZ44Readers(b *testing.B) { runSpoolRead(b, "lz4", 4) }
+
+// runSpoolReplay measures the full record-once-replay-many path: the
+// spooled capture streamed from disk — sequentially or via parallel
+// segment readers, raw or compressed — through protocol decode and the
 // sharded pipeline into the weekly panel.
-func BenchmarkSpoolReplay(b *testing.B) {
-	dir := benchSpool(b)
+func runSpoolReplay(b *testing.B, codecName string, workers int) {
+	dir := benchSpool(b, codecName)
 	total := uint64(len(benchIngestStream(b)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -246,7 +287,7 @@ func BenchmarkSpoolReplay(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		err = spool.Replay(dir, func(d ingest.Datagram) error {
+		_, err = spool.ReplayWindow(dir, spool.ReplayOptions{Workers: workers}, func(d ingest.Datagram) error {
 			in.IngestDatagram(d)
 			return nil
 		})
@@ -264,6 +305,11 @@ func BenchmarkSpoolReplay(b *testing.B) {
 	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 	b.ReportMetric(float64(total), "packets/op")
 }
+
+func BenchmarkSpoolReplay(b *testing.B)            { runSpoolReplay(b, "none", 1) }
+func BenchmarkSpoolReplay4Readers(b *testing.B)    { runSpoolReplay(b, "none", 4) }
+func BenchmarkSpoolReplayLZ4(b *testing.B)         { runSpoolReplay(b, "lz4", 1) }
+func BenchmarkSpoolReplayLZ44Readers(b *testing.B) { runSpoolReplay(b, "lz4", 4) }
 
 // BenchmarkIngestWireDecode replays wire-format datagrams so the per-packet
 // protocol decode (port lookup + request validation) is on the measured

@@ -8,18 +8,24 @@
 // Usage:
 //
 //	booteringest [-seed N] [-shards N] [-weeks N] [-attacks N] [-wire]
-//	             [-record DIR | -replay DIR] [-sinks topk,ndjson]
-//	             [-topk K] [-ndjson FILE] [-shed POLICY] [-queue N]
+//	             [-record DIR [-compress CODEC] | -replay DIR]
+//	             [-from T] [-to T] [-replay-workers N]
+//	             [-sinks topk,ndjson] [-topk K] [-ndjson FILE]
+//	             [-shed POLICY] [-queue N]
 //
 // -record DIR generates the synthetic stream, spools it to DIR as
-// wire-format datagrams and exits; -replay DIR streams a previously
-// recorded spool from disk through the pipeline instead of generating.
-// -sinks attaches extra consumers (a country/protocol top-K ranking, an
-// NDJSON flow stream) next to the built-in weekly panel. -shed picks the
-// overload policy for full shard queues: block (lossless backpressure,
-// default), drop-newest or drop-oldest, with dropped packets accounted
-// per sensor. -wire replays wire-format datagrams through the protocol
-// decode path instead of pre-decoded packets.
+// wire-format datagrams and exits; -compress lz4 stores the spool's
+// blocks compressed. -replay DIR streams a previously recorded spool
+// from disk through the pipeline instead of generating; -from/-to bound
+// the replay to a time window (whole segments outside it are skipped via
+// the spool index) and -replay-workers decodes segments with N
+// concurrent readers while preserving delivery order. -sinks attaches
+// extra consumers (a country/protocol top-K ranking, an NDJSON flow
+// stream) next to the built-in weekly panel. -shed picks the overload
+// policy for full shard queues: block (lossless backpressure, default),
+// drop-newest or drop-oldest, with dropped packets accounted per sensor.
+// -wire replays wire-format datagrams through the protocol decode path
+// instead of pre-decoded packets.
 package main
 
 import (
@@ -41,13 +47,21 @@ const usageText = `booteringest replays a reflected-UDP packet stream through th
 streaming ingestion pipeline and reports throughput, the weekly attack
 series and any attached sinks. The stream is either generated from the
 booter-market simulator (default), recorded once to an on-disk spool
-(-record DIR), or replayed from such a spool at disk speed (-replay DIR).
+(-record DIR, optionally compressed with -compress lz4), or replayed
+from such a spool at disk speed (-replay DIR), whole or bounded to a
+time window (-from/-to, pruning segments via the spool index) with
+-replay-workers concurrent segment readers.
 
 Usage:
 
   booteringest [-seed N] [-shards N] [-weeks N] [-attacks N] [-wire]
-               [-record DIR | -replay DIR] [-sinks topk,ndjson]
-               [-topk K] [-ndjson FILE] [-shed POLICY] [-queue N]
+               [-record DIR [-compress CODEC] | -replay DIR]
+               [-from T] [-to T] [-replay-workers N]
+               [-sinks topk,ndjson] [-topk K] [-ndjson FILE]
+               [-shed POLICY] [-queue N]
+
+Times for -from/-to parse as RFC 3339 ("2018-10-01T00:00:00Z") or as a
+bare UTC date ("2018-10-01").
 
 Flags:
 
@@ -66,7 +80,11 @@ func main() {
 	attacks := flag.Float64("attacks", 1000, "mean attack flows per week")
 	wire := flag.Bool("wire", false, "replay wire-format datagrams (exercise protocol decode)")
 	recordDir := flag.String("record", "", "spool the generated stream to this directory and exit")
+	compress := flag.String("compress", "none", "spool block codec for -record: none or lz4")
 	replayDir := flag.String("replay", "", "replay a recorded spool from this directory (implies -wire)")
+	fromFlag := flag.String("from", "", "replay only datagrams at or after this time")
+	toFlag := flag.String("to", "", "replay only datagrams before this time")
+	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers for -replay")
 	sinksFlag := flag.String("sinks", "", "extra sinks, comma-separated: topk, ndjson")
 	topKFlag := flag.Int("topk", 5, "rows kept by the topk sink")
 	ndjsonPath := flag.String("ndjson", "flows.ndjson", "output file for the ndjson sink")
@@ -77,18 +95,43 @@ func main() {
 	if *recordDir != "" && *replayDir != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
 	}
+	// Reject flag combinations that would otherwise be silently ignored:
+	// running the wrong workload is worse than an error.
+	if *replayDir == "" {
+		if *fromFlag != "" || *toFlag != "" {
+			log.Fatal("-from/-to only apply to -replay (the generated stream is not windowed)")
+		}
+		if *replayWorkers != 1 {
+			log.Fatal("-replay-workers only applies to -replay")
+		}
+	}
+	if *recordDir == "" && *compress != "none" {
+		log.Fatal("-compress only applies to -record")
+	}
 	shed, err := ingest.ParseShedPolicy(*shedFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	from, err := parseTimeFlag(*fromFlag)
+	if err != nil {
+		log.Fatalf("-from: %v", err)
+	}
+	to, err := parseTimeFlag(*toFlag)
+	if err != nil {
+		log.Fatalf("-to: %v", err)
 	}
 
 	start := time.Date(2018, time.July, 2, 0, 0, 0, 0, time.UTC)
 
 	// Record mode: generate once, spool to disk, report, done.
 	if *recordDir != "" {
+		codec, err := spool.CodecByName(*compress)
+		if err != nil {
+			log.Fatal(err)
+		}
 		packets := generate(*seed, start, *weeks, *attacks)
 		recordStart := time.Now()
-		w, err := spool.Create(*recordDir, spool.Options{})
+		w, err := spool.Create(*recordDir, spool.Options{Codec: codec})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,9 +144,20 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(recordStart)
-		fmt.Printf("recorded %d datagrams to %s in %v (%.0f datagrams/sec)\n",
+		fmt.Printf("recorded %d datagrams to %s in %v (%.0f datagrams/sec, codec %s)\n",
 			w.Count(), *recordDir, elapsed.Round(time.Millisecond),
-			float64(w.Count())/elapsed.Seconds())
+			float64(w.Count())/elapsed.Seconds(), codec.Name())
+		if idx, err := spool.LoadIndex(*recordDir); err == nil && w.Count() > 0 {
+			var raw, stored uint64
+			for _, s := range idx.Segments {
+				raw += s.RawBytes
+				stored += s.StoredBytes
+			}
+			// bytes/packet is numerically MB per million packets.
+			fmt.Printf("on disk: %.1f bytes/packet stored (%.1f raw) = %.1f MB per million packets\n",
+				float64(stored)/float64(w.Count()), float64(raw)/float64(w.Count()),
+				float64(stored)/float64(w.Count()))
+		}
 		fmt.Println("replay with: booteringest -replay", *recordDir)
 		return
 	}
@@ -146,11 +200,16 @@ func main() {
 
 	// Feed the pipeline: from the spool, or from a generated stream.
 	var fed uint64
+	var spoolStats *spool.ReplayStats
 	mode := "pre-decoded"
 	replayStart := time.Now()
 	if *replayDir != "" {
 		mode = "spooled wire-format"
-		err := spool.Replay(*replayDir, func(d ingest.Datagram) error {
+		spoolStats, err = spool.ReplayWindow(*replayDir, spool.ReplayOptions{
+			From:    from,
+			To:      to,
+			Workers: *replayWorkers,
+		}, func(d ingest.Datagram) error {
 			fed++
 			in.IngestDatagram(d) // decode drops are counted in Stats
 			return nil
@@ -190,6 +249,17 @@ func main() {
 	fmt.Printf("\ningested %d of %d %s packets through %d shard(s) in %v (%.0f packets/sec, GOMAXPROCS=%d, shed=%v)\n",
 		res.Stats.Packets, fed, mode, in.Shards(), elapsed.Round(time.Millisecond),
 		float64(res.Stats.Packets)/elapsed.Seconds(), runtime.GOMAXPROCS(0), shed)
+	if spoolStats != nil {
+		fmt.Printf("spool: %d segment(s) read, %d skipped via index, %d record(s) outside window, %d reader(s)\n",
+			spoolStats.SegmentsRead, spoolStats.SegmentsSkipped, spoolStats.Filtered, *replayWorkers)
+		for _, w := range spoolStats.Warnings {
+			fmt.Printf("spool: warning: %s\n", w)
+		}
+		for _, torn := range spoolStats.Torn {
+			fmt.Printf("spool: DATA LOSS: %s: %s (%d complete records recovered)\n",
+				torn.Segment, torn.Reason, torn.Records)
+		}
+	}
 	fmt.Printf("flows: %d closed, %d attacks, %d scans, %d late, %d unattributed, %d out-of-span\n",
 		res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans, res.Stats.Late, res.Stats.Unattributed, res.Stats.OutOfSpan)
 	if res.Stats.Shed > 0 {
@@ -258,6 +328,22 @@ func main() {
 	if ndjson != nil {
 		fmt.Printf("\nstreamed %d flow lines to %s\n", ndjson.Lines(), *ndjsonPath)
 	}
+}
+
+// parseTimeFlag parses a -from/-to value: RFC 3339, or a bare UTC date.
+// An empty value means "unbounded" and parses to the zero time.
+func parseTimeFlag(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%q is neither RFC 3339 nor YYYY-MM-DD", s)
+	}
+	return t, nil
 }
 
 // generate builds the synthetic market-driven packet stream.

@@ -1,0 +1,352 @@
+package spool
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/netip"
+	"os"
+	"time"
+
+	"booters/internal/ingest"
+)
+
+// segmentReader streams one segment file, v1 or v2, detected from the
+// magic. next returns io.EOF at a clean end — for v2, only after the
+// trailer has been read, its checksums verified and its record count
+// matched against the records actually decoded — and an error wrapping
+// ErrCorrupt for anything torn or inconsistent.
+type segmentReader struct {
+	path    string
+	f       *os.File
+	br      *bufio.Reader
+	version int
+	codec   Codec
+
+	crc     uint32 // running CRC over v2 block bytes
+	raw     []byte // decoded current block; records alias into it
+	off     int
+	stored  []byte // compressed-block scratch, reused
+	records uint64
+	done    bool
+
+	hdr [recordHeaderSize]byte // v1 header scratch
+}
+
+// openSegmentReader opens one segment and parses its header.
+func openSegmentReader(path string) (*segmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	sr := &segmentReader{path: path, f: f, br: bufio.NewReaderSize(f, 256<<10)}
+	var head [8]byte
+	if _, err := io.ReadFull(sr.br, head[:]); err != nil {
+		f.Close()
+		return nil, sr.corrupt("segment header cut off")
+	}
+	switch string(head[:]) {
+	case magicV1:
+		sr.version = 1
+	case magicV2:
+		sr.version = 2
+		var rest [segHeaderSize - 8]byte
+		if _, err := io.ReadFull(sr.br, rest[:]); err != nil {
+			f.Close()
+			return nil, sr.corrupt("segment header cut off")
+		}
+		if sr.codec, err = codecByID(rest[0]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+	default:
+		f.Close()
+		return nil, sr.corrupt("bad magic")
+	}
+	return sr, nil
+}
+
+// corruptError is a segment-scoped corruption diagnosis. It unwraps to
+// ErrCorrupt, and keeps the bare reason separate so replay stats can
+// report it without re-stating the segment path.
+type corruptError struct {
+	path   string
+	reason string
+}
+
+// Error renders the full segment-scoped message.
+func (e *corruptError) Error() string { return fmt.Sprintf("%v: %s: %s", ErrCorrupt, e.path, e.reason) }
+
+// Unwrap ties the error into errors.Is(err, ErrCorrupt).
+func (e *corruptError) Unwrap() error { return ErrCorrupt }
+
+// corruptReason extracts the bare diagnosis from a segment scan error.
+func corruptReason(err error) string {
+	var ce *corruptError
+	if errors.As(err, &ce) {
+		return ce.reason
+	}
+	return err.Error()
+}
+
+// corrupt builds a segment-scoped error wrapping ErrCorrupt.
+func (sr *segmentReader) corrupt(format string, args ...any) error {
+	return &corruptError{path: sr.path, reason: fmt.Sprintf(format, args...)}
+}
+
+// next returns the segment's next datagram, io.EOF at its verified end,
+// or an error wrapping ErrCorrupt.
+func (sr *segmentReader) next() (ingest.Datagram, error) {
+	if sr.done {
+		return ingest.Datagram{}, io.EOF
+	}
+	if sr.version == 1 {
+		return sr.nextV1()
+	}
+	for sr.off >= len(sr.raw) {
+		if err := sr.readBlock(); err != nil {
+			return ingest.Datagram{}, err
+		}
+	}
+	if sr.off+recordHeaderSize > len(sr.raw) {
+		return ingest.Datagram{}, sr.corrupt("record header crosses block boundary")
+	}
+	d, plen := decodeRecordHeader(sr.raw[sr.off : sr.off+recordHeaderSize])
+	sr.off += recordHeaderSize
+	if plen > 0 {
+		if sr.off+plen > len(sr.raw) {
+			return ingest.Datagram{}, sr.corrupt("record payload crosses block boundary")
+		}
+		// The payload aliases the block buffer, which is freshly
+		// allocated per block and never reused, so the slice stays valid
+		// for as long as the caller keeps the datagram.
+		d.Payload = sr.raw[sr.off : sr.off+plen : sr.off+plen]
+		sr.off += plen
+	}
+	sr.records++
+	return d, nil
+}
+
+// readBlock reads the next v2 block frame into sr.raw, or verifies the
+// trailer and returns io.EOF at the segment's end.
+func (sr *segmentReader) readBlock() error {
+	var lead [4]byte
+	if _, err := io.ReadFull(sr.br, lead[:]); err != nil {
+		if err == io.EOF {
+			return sr.corrupt("trailer missing (torn segment)")
+		}
+		return sr.corrupt("block header cut off")
+	}
+	if bytes.Equal(lead[:], []byte(trailerMagic)[:4]) {
+		return sr.readTrailer(lead)
+	}
+	storedLen := int(binary.BigEndian.Uint32(lead[:]))
+	var rest [blockHeaderSize - 4]byte
+	if _, err := io.ReadFull(sr.br, rest[:]); err != nil {
+		return sr.corrupt("block header cut off")
+	}
+	rawLen := int(binary.BigEndian.Uint32(rest[0:4]))
+	blockCRC := binary.BigEndian.Uint32(rest[4:8])
+	if rawLen <= 0 || rawLen > maxBlockRaw || storedLen <= 0 || storedLen > rawLen {
+		return sr.corrupt("implausible block frame (stored=%d raw=%d)", storedLen, rawLen)
+	}
+	// The raw buffer is freshly allocated per block because records
+	// alias into it. A raw-stored block (stored == raw) is read straight
+	// into it, sparing the whole-stream extra copy on the uncompressed
+	// path; a compressed one goes via the reusable scratch buffer.
+	sr.raw = make([]byte, rawLen)
+	stored := sr.raw
+	if storedLen != rawLen {
+		if cap(sr.stored) < storedLen {
+			sr.stored = make([]byte, storedLen)
+		}
+		stored = sr.stored[:storedLen]
+	}
+	if _, err := io.ReadFull(sr.br, stored); err != nil {
+		return sr.corrupt("block cut off")
+	}
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, lead[:])
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, rest[:])
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, stored)
+	if crc32.ChecksumIEEE(stored) != blockCRC {
+		return sr.corrupt("block checksum mismatch")
+	}
+	if storedLen != rawLen {
+		if err := sr.codec.Decode(sr.raw, stored); err != nil {
+			return sr.corrupt("%v", err)
+		}
+	}
+	sr.off = 0
+	return nil
+}
+
+// readTrailer consumes and verifies the 48-byte trailer whose first four
+// bytes are already in lead, then confirms the file ends there.
+func (sr *segmentReader) readTrailer(lead [4]byte) error {
+	var tr [trailerSize]byte
+	copy(tr[:4], lead[:])
+	if _, err := io.ReadFull(sr.br, tr[4:]); err != nil {
+		return sr.corrupt("trailer cut off")
+	}
+	if string(tr[:8]) != trailerMagic {
+		return sr.corrupt("bad trailer magic")
+	}
+	if crc32.ChecksumIEEE(tr[:44]) != binary.BigEndian.Uint32(tr[44:48]) {
+		return sr.corrupt("trailer checksum mismatch")
+	}
+	if got := binary.BigEndian.Uint32(tr[40:44]); got != sr.crc {
+		return sr.corrupt("segment checksum mismatch")
+	}
+	if n := binary.BigEndian.Uint64(tr[8:16]); n != sr.records {
+		return sr.corrupt("trailer records %d, decoded %d", n, sr.records)
+	}
+	if _, err := sr.br.ReadByte(); err != io.EOF {
+		return sr.corrupt("trailing bytes after trailer")
+	}
+	sr.done = true
+	return io.EOF
+}
+
+// nextV1 reads one bare v1 record straight off the file.
+func (sr *segmentReader) nextV1() (ingest.Datagram, error) {
+	b := sr.hdr[:]
+	if _, err := io.ReadFull(sr.br, b); err != nil {
+		if err == io.EOF {
+			// Clean record boundary: a v1 segment has no trailer, so
+			// this is the best "end" the format can attest.
+			sr.done = true
+			return ingest.Datagram{}, io.EOF
+		}
+		return ingest.Datagram{}, sr.corrupt("record header cut off")
+	}
+	d, plen := decodeRecordHeader(b)
+	if plen > 0 {
+		d.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(sr.br, d.Payload); err != nil {
+			return ingest.Datagram{}, sr.corrupt("record payload cut off")
+		}
+	}
+	sr.records++
+	return d, nil
+}
+
+// close releases the segment file.
+func (sr *segmentReader) close() error {
+	if sr.f == nil {
+		return nil
+	}
+	err := sr.f.Close()
+	sr.f = nil
+	return err
+}
+
+// decodeRecordHeader parses the fixed 32-byte record header shared by v1
+// and v2, returning the datagram (payload not yet attached) and the
+// payload length.
+func decodeRecordHeader(b []byte) (ingest.Datagram, int) {
+	var d ingest.Datagram
+	d.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC()
+	var v16 [16]byte
+	copy(v16[:], b[8:24])
+	addr := netip.AddrFrom16(v16)
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	d.Victim = addr
+	d.Port = int(binary.BigEndian.Uint16(b[24:26]))
+	d.Sensor = int(binary.BigEndian.Uint32(b[26:30]))
+	return d, int(binary.BigEndian.Uint16(b[30:32]))
+}
+
+// Reader replays a spool directory sequentially, crossing segment
+// boundaries transparently. It is not safe for concurrent use; open one
+// reader per replay. For windowed, parallel or corruption-tolerant
+// replay use ReplayWindow instead.
+type Reader struct {
+	segs []string
+	i    int
+	sr   *segmentReader
+	n    uint64
+}
+
+// Open opens a spool directory for sequential replay.
+func Open(dir string) (*Reader, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("spool: no segments in %s", dir)
+	}
+	r := &Reader{segs: segs}
+	if r.sr, err = openSegmentReader(segs[0]); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Next returns the next datagram in spool order, io.EOF after the last
+// one, or an error wrapping ErrCorrupt for a cut-off or inconsistent
+// segment.
+func (r *Reader) Next() (ingest.Datagram, error) {
+	for {
+		d, err := r.sr.next()
+		if err == nil {
+			r.n++
+			return d, nil
+		}
+		if err != io.EOF {
+			return ingest.Datagram{}, err
+		}
+		r.sr.close()
+		r.i++
+		if r.i >= len(r.segs) {
+			return ingest.Datagram{}, io.EOF
+		}
+		if r.sr, err = openSegmentReader(r.segs[r.i]); err != nil {
+			return ingest.Datagram{}, err
+		}
+	}
+}
+
+// Count returns the number of datagrams returned so far.
+func (r *Reader) Count() uint64 { return r.n }
+
+// Close releases the reader's current segment file.
+func (r *Reader) Close() error {
+	if r.sr == nil {
+		return nil
+	}
+	err := r.sr.close()
+	r.sr = nil
+	return err
+}
+
+// Replay streams every datagram in the spool through fn in recorded
+// order, stopping at the first error fn returns. It is strict: any
+// corruption fails the replay with an error wrapping ErrCorrupt. Use
+// ReplayWindow for time windows, parallel segment readers, or replays
+// that should survive a torn tail and report it instead.
+func Replay(dir string, fn func(ingest.Datagram) error) error {
+	r, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		d, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+}

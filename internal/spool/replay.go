@@ -1,0 +1,329 @@
+package spool
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"booters/internal/ingest"
+)
+
+// ReplayOptions tunes ReplayWindow.
+type ReplayOptions struct {
+	// From and To bound the replay to records with From <= Time < To.
+	// A zero From means "from the beginning", a zero To "to the end".
+	// Segments whose indexed time range falls entirely outside the
+	// window are skipped without being opened.
+	From, To time.Time
+	// Workers is the number of concurrent segment readers; <= 1 reads
+	// segments inline on the calling goroutine. Readers decode segments
+	// in parallel, but records are always delivered to fn sequentially,
+	// in recorded spool order — the flow aggregator's quiet-gap rule is
+	// order-sensitive, so delivery order is part of the replay contract
+	// (see ARCHITECTURE.md).
+	Workers int
+	// Strict makes any corruption fail the whole replay with an error
+	// wrapping ErrCorrupt, matching Replay. The default (false) contains
+	// corruption to the segment it occurs in: complete records before
+	// the tear are delivered, the loss is booked in ReplayStats.Torn,
+	// and the replay continues with the next segment.
+	Strict bool
+}
+
+// TornSegment records data loss met during a tolerant replay: a segment
+// that ended in a torn record, a missing or corrupt trailer, a failed
+// checksum, or a record-count mismatch.
+type TornSegment struct {
+	// Segment is the segment's file name.
+	Segment string
+	// Records is the number of complete records recovered from the
+	// segment before the tear.
+	Records uint64
+	// Reason is the human-readable corruption diagnosis.
+	Reason string
+}
+
+// ReplayStats reports what a ReplayWindow call delivered, skipped and
+// lost. A replay with len(Torn) == 0 and len(Warnings) == 0 delivered
+// every record the window asked for from a fully verified spool.
+type ReplayStats struct {
+	// Records is the number of datagrams delivered to fn.
+	Records uint64
+	// Filtered is the number of records read but outside [From, To).
+	Filtered uint64
+	// SegmentsRead and SegmentsSkipped count segments scanned versus
+	// pruned by the index (including empty segments).
+	SegmentsRead, SegmentsSkipped int
+	// Torn lists segments that lost data to truncation or corruption.
+	// Empty on a clean replay; in strict mode the replay errors instead.
+	Torn []TornSegment
+	// Warnings lists index degradations (corrupt MANIFEST, torn
+	// trailers, unindexed segments scanned in full) inherited from
+	// LoadIndex plus any replay-level notes.
+	Warnings []string
+}
+
+// DataLost reports whether the replay lost records to corruption.
+func (st *ReplayStats) DataLost() bool { return len(st.Torn) > 0 }
+
+// replayBatchLen is the record-batch granularity of the parallel replay
+// hand-off; big enough that channel overhead vanishes against decode
+// cost, small enough to bound buffered memory.
+const replayBatchLen = 1024
+
+// segTaskDepth is each in-flight segment's buffered batch count: workers
+// may run at most this far ahead of the in-order delivery point within
+// one segment.
+const segTaskDepth = 4
+
+// ReplayWindow streams the spooled datagrams whose timestamps fall in
+// the half-open window [From, To) through fn, in recorded order, using
+// the per-segment index to skip segments wholly outside the window and
+// opts.Workers concurrent readers to decode segments in parallel. It
+// returns the replay's statistics alongside any terminal error; the
+// stats are meaningful even when the error is non-nil.
+//
+// Unless opts.Strict is set, corruption never fails the replay: every
+// complete record before a tear is delivered and the loss is reported in
+// the stats, so one torn segment cannot cost the rest of a capture.
+func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error) (*ReplayStats, error) {
+	stats := &ReplayStats{}
+	idx, err := LoadIndex(dir)
+	if err != nil {
+		return stats, err
+	}
+	if len(idx.Segments) == 0 {
+		return stats, fmt.Errorf("spool: no segments in %s", dir)
+	}
+	stats.Warnings = append(stats.Warnings, idx.Warnings...)
+
+	from, to := int64(math.MinInt64), int64(math.MaxInt64)
+	if !opts.From.IsZero() {
+		from = opts.From.UnixNano()
+	}
+	if !opts.To.IsZero() {
+		to = opts.To.UnixNano()
+	}
+	windowed := from != math.MinInt64 || to != math.MaxInt64
+
+	var scan []*SegmentInfo
+	unindexed := 0
+	for i := range idx.Segments {
+		info := &idx.Segments[i]
+		if !info.overlaps(from, to) {
+			stats.SegmentsSkipped++
+			continue
+		}
+		if !info.Indexed {
+			unindexed++
+		}
+		scan = append(scan, info)
+	}
+	if windowed && unindexed > 0 {
+		stats.Warnings = append(stats.Warnings,
+			fmt.Sprintf("%d unindexed segment(s) cannot be window-pruned and will be scanned in full", unindexed))
+	}
+	if len(scan) == 0 {
+		return stats, nil
+	}
+	if opts.Workers <= 1 {
+		return stats, replaySequential(dir, scan, from, to, opts.Strict, stats, fn)
+	}
+	return stats, replayParallel(dir, scan, from, to, opts, stats, fn)
+}
+
+// scanSegment streams one segment's in-window records through yield. It
+// returns the records read, records filtered by the window, the
+// corruption error met (nil for a clean segment), and the first error
+// yield returned (which aborts the scan).
+func scanSegment(path string, from, to int64, yield func(ingest.Datagram) error) (read, filtered uint64, scanErr, yieldErr error) {
+	sr, err := openSegmentReader(path)
+	if err != nil {
+		return 0, 0, err, nil
+	}
+	defer sr.close()
+	for {
+		d, err := sr.next()
+		if err == io.EOF {
+			return read, filtered, nil, nil
+		}
+		if err != nil {
+			return read, filtered, err, nil
+		}
+		read++
+		if ns := d.Time.UnixNano(); ns < from || ns >= to {
+			filtered++
+			continue
+		}
+		if err := yield(d); err != nil {
+			return read, filtered, nil, err
+		}
+	}
+}
+
+// bookSegment folds one scanned segment's outcome into the stats,
+// applying the strictness policy to its corruption error, if any.
+func bookSegment(info *SegmentInfo, read, filtered uint64, scanErr error, strict bool, stats *ReplayStats) error {
+	stats.SegmentsRead++
+	stats.Filtered += filtered
+	if scanErr == nil {
+		return nil
+	}
+	if strict {
+		return scanErr
+	}
+	stats.Torn = append(stats.Torn, TornSegment{Segment: info.Name, Records: read, Reason: corruptReason(scanErr)})
+	return nil
+}
+
+// replaySequential scans the selected segments inline, in order.
+func replaySequential(dir string, scan []*SegmentInfo, from, to int64, strict bool, stats *ReplayStats, fn func(ingest.Datagram) error) error {
+	for _, info := range scan {
+		read, filtered, scanErr, yieldErr := scanSegment(idxPath(dir, info), from, to, func(d ingest.Datagram) error {
+			if err := fn(d); err != nil {
+				return err
+			}
+			stats.Records++
+			return nil
+		})
+		if yieldErr != nil {
+			return yieldErr
+		}
+		if err := bookSegment(info, read, filtered, scanErr, strict, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segTask carries one segment through the parallel replay: a worker
+// fills ch with record batches and stamps the outcome fields, all of
+// which become visible to the sequencer when ch is closed.
+type segTask struct {
+	info *SegmentInfo
+	ch   chan []ingest.Datagram
+
+	read, filtered uint64
+	scanErr        error
+}
+
+// replayParallel fans the selected segments out to opts.Workers reader
+// goroutines and re-serialises their record batches so fn still observes
+// recorded spool order. A claim token is needed per in-flight segment
+// and is only returned once the sequencer has fully consumed it, so
+// decode-ahead — and with it buffered memory — is bounded to 2x workers
+// segments of at most segTaskDepth batches each, even when segments are
+// tiny and a fast worker could otherwise sprint through the whole spool
+// ahead of a slow consumer.
+func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, fn func(ingest.Datagram) error) error {
+	tasks := make([]*segTask, len(scan))
+	for i, info := range scan {
+		tasks[i] = &segTask{info: info, ch: make(chan []ingest.Datagram, segTaskDepth)}
+	}
+	workers := opts.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	tokens := make(chan struct{}, 2*workers)
+	for i := 0; i < cap(tokens); i++ {
+		tokens <- struct{}{}
+	}
+	stop := make(chan struct{})
+	var next atomic.Int64
+	var pool sync.Pool
+	getBatch := func() []ingest.Datagram {
+		if v := pool.Get(); v != nil {
+			return (*v.(*[]ingest.Datagram))[:0]
+		}
+		return make([]ingest.Datagram, 0, replayBatchLen)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-tokens:
+				case <-stop:
+					// Terminal error downstream: claiming further
+					// segments would decode data nobody will consume.
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				batch := getBatch()
+				aborted := false
+				t.read, t.filtered, t.scanErr, _ = scanSegment(idxPath(dir, t.info), from, to, func(d ingest.Datagram) error {
+					batch = append(batch, d)
+					if len(batch) == replayBatchLen {
+						select {
+						case t.ch <- batch:
+							batch = getBatch()
+						case <-stop:
+							aborted = true
+							return errReplayStopped
+						}
+					}
+					return nil
+				})
+				if !aborted && len(batch) > 0 {
+					select {
+					case t.ch <- batch:
+					case <-stop:
+						aborted = true
+					}
+				}
+				close(t.ch)
+				if aborted {
+					return
+				}
+			}
+		}()
+	}
+	abort := func(err error) error {
+		// Every worker send (and the claim loop) selects on stop, so
+		// closing it unblocks them all; buffered batches die with their
+		// channels once the workers have returned.
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	for _, t := range tasks {
+		for batch := range t.ch {
+			for _, d := range batch {
+				if err := fn(d); err != nil {
+					return abort(err)
+				}
+				stats.Records++
+			}
+			pool.Put(&batch)
+		}
+		// The channel close happens after the worker's final field
+		// writes, so the outcome is safely visible here.
+		if err := bookSegment(t.info, t.read, t.filtered, t.scanErr, opts.Strict, stats); err != nil {
+			return abort(err)
+		}
+		// Segment fully consumed: return its claim token so a worker
+		// can start the next one.
+		tokens <- struct{}{}
+	}
+	wg.Wait()
+	return nil
+}
+
+// errReplayStopped aborts a worker's scan after the sequencer hit a
+// terminal error; it never escapes the package.
+var errReplayStopped = fmt.Errorf("spool: replay stopped")
+
+// idxPath rebuilds a segment's path from its index entry.
+func idxPath(dir string, info *SegmentInfo) string {
+	return filepath.Join(dir, info.Name)
+}

@@ -1,20 +1,28 @@
-// Package spool implements a compact append-only on-disk datagram spool:
-// record a packet capture (or a synthetic market run) once, then replay it
-// repeatedly at sequential-read speed through any shard/sink configuration
+// Package spool implements an indexed, optionally compressed, append-only
+// on-disk datagram store: record a packet capture (or a synthetic market
+// run) once, then replay it repeatedly — whole, time-windowed, or fanned
+// out to parallel segment readers — through any shard/sink configuration
 // of the streaming pipeline.
 //
-// A spool is a directory of numbered segment files. Each segment starts
-// with an 8-byte magic ("BOOTSPL1") and is followed by records. A record
-// is a fixed 32-byte header — receive time (unix nanoseconds), victim
-// address (16 bytes, IPv4 stored 4-in-6), UDP port, sensor ID, payload
-// length — then the raw payload bytes. The fixed header means replay is a
-// straight sequential read with no per-record framing decisions, and a
-// truncated tail (a crashed writer) is detected rather than silently
-// swallowed.
+// A spool is a directory of numbered segment files plus a MANIFEST. Each
+// v2 segment starts with a 16-byte header (8-byte magic "BOOTSPL2", a
+// codec ID, reserved bytes), holds records grouped into CRC-checked
+// blocks — raw, or compressed by a pluggable Codec — and ends with a
+// fixed 48-byte trailer carrying the record count, minimum and maximum
+// record timestamps, raw byte count and a whole-segment checksum. The
+// MANIFEST mirrors every trailer, so replay can prune segments outside a
+// requested time window and assign segments to concurrent readers without
+// touching the files it skips. Records inside a block use the v1 fixed
+// 32-byte header (receive time, victim address, port, sensor, payload
+// length) followed by the raw payload.
 //
-// The Writer rotates segments at a configurable size so multi-billion
-// packet captures stay as a set of bounded files; the Reader iterates the
-// segments in order, transparently crossing boundaries.
+// Spools written by the v1 format (segments of bare records behind an
+// 8-byte "BOOTSPL1" magic, no index) remain fully readable: the version
+// is detected per segment from the magic, and v1 segments are simply
+// never prunable or verifiable, exactly as before.
+//
+// The complete normative format, including truncation and corruption
+// recovery rules, is specified in docs/SPOOL_FORMAT.md.
 package spool
 
 import (
@@ -22,9 +30,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
+	"hash/crc32"
 	"io/fs"
-	"net/netip"
 	"os"
 	"path/filepath"
 	"sort"
@@ -34,39 +41,82 @@ import (
 )
 
 // ErrCorrupt reports a segment whose bytes cannot be a whole record
-// stream: a bad magic, or a record cut off mid-header or mid-payload.
+// stream: a bad magic, a record or block cut off, a checksum mismatch,
+// or a trailer whose record count disagrees with the data.
 var ErrCorrupt = errors.New("spool: corrupt segment")
 
 const (
-	magic            = "BOOTSPL1"
+	magicV1       = "BOOTSPL1"
+	magicV2       = "BOOTSPL2"
+	trailerMagic  = "BOOTTRL2"
+	manifestName  = "MANIFEST"
+	manifestMagic = "bootspool-manifest v2"
+
+	segHeaderSize    = 16
 	recordHeaderSize = 32
-	segmentExt       = ".seg"
-	// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
-	// is unset: 64 MiB, about two million spooled request datagrams.
+	blockHeaderSize  = 12
+	trailerSize      = 48
+
+	// maxBlockRaw is the reader-side sanity cap on a block's decoded
+	// size; the writer clamps BlockBytes well below it.
+	maxBlockRaw = 8 << 20
+
+	segmentExt = ".seg"
+
+	// DefaultSegmentBytes is the rotation threshold when
+	// Options.SegmentBytes is unset: 64 MiB, about two million spooled
+	// request datagrams uncompressed.
 	DefaultSegmentBytes = 64 << 20
+
+	// DefaultBlockBytes is the raw bytes gathered into one block when
+	// Options.BlockBytes is unset. 256 KiB keeps the compression window
+	// useful while bounding the memory a reader needs per block.
+	DefaultBlockBytes = 256 << 10
 )
 
 // Options tunes a Writer.
 type Options struct {
 	// SegmentBytes rotates to a new segment file once the current one
-	// reaches this many bytes; <= 0 means DefaultSegmentBytes.
+	// reaches this many stored bytes; <= 0 means DefaultSegmentBytes.
 	SegmentBytes int64
+	// BlockBytes is the raw record bytes gathered into one block before
+	// it is (optionally) compressed and framed; <= 0 means
+	// DefaultBlockBytes. Clamped to [4 KiB, 4 MiB].
+	BlockBytes int
+	// Codec compresses blocks; nil means the "none" codec (blocks stored
+	// raw). Use CodecByName.
+	Codec Codec
 }
 
-// Writer appends datagrams to a spool directory. It is not safe for
-// concurrent use; a capture loop owns one writer.
+// Writer appends datagrams to a spool directory in the v2 format. It is
+// not safe for concurrent use; a capture loop owns one writer.
 type Writer struct {
-	dir      string
-	segBytes int64
+	dir        string
+	segBytes   int64
+	blockBytes int
+	codec      Codec
+	codecByte  byte
 
 	seg int
 	f   *os.File
 	bw  *bufio.Writer
-	cur int64
+	cur int64 // stored bytes written to the current segment, incl. header
 	n   uint64
 	err error
 
-	hdr [recordHeaderSize]byte
+	block []byte // raw block being filled
+	comp  []byte // codec output scratch
+
+	// Per-segment trailer/manifest accumulators.
+	segRecords uint64
+	segMin     int64
+	segMax     int64
+	segRaw     uint64
+	segStored  uint64 // block bytes incl. block headers
+	segCRC     uint32
+
+	manifest []SegmentInfo
+	hdr      [recordHeaderSize]byte
 }
 
 // Create opens a fresh spool in dir, creating the directory if needed. It
@@ -84,9 +134,24 @@ func Create(dir string, opts Options) (*Writer, error) {
 	if len(existing) > 0 {
 		return nil, fmt.Errorf("spool: %s already holds %d segment(s)", dir, len(existing))
 	}
-	w := &Writer{dir: dir, segBytes: opts.SegmentBytes}
+	w := &Writer{dir: dir, segBytes: opts.SegmentBytes, blockBytes: opts.BlockBytes, codec: opts.Codec}
 	if w.segBytes <= 0 {
 		w.segBytes = DefaultSegmentBytes
+	}
+	if w.blockBytes <= 0 {
+		w.blockBytes = DefaultBlockBytes
+	}
+	if w.blockBytes < 4<<10 {
+		w.blockBytes = 4 << 10
+	}
+	if w.blockBytes > 4<<20 {
+		w.blockBytes = 4 << 20
+	}
+	if w.codec == nil {
+		w.codec = noneCodec{}
+	}
+	if w.codecByte, err = codecID(w.codec); err != nil {
+		return nil, err
 	}
 	if err := w.rotate(); err != nil {
 		return nil, err
@@ -94,10 +159,10 @@ func Create(dir string, opts Options) (*Writer, error) {
 	return w, nil
 }
 
-// rotate closes the current segment (if any) and starts the next one.
+// rotate finishes the current segment (if any) and starts the next one.
 func (w *Writer) rotate() error {
 	if w.f != nil {
-		if err := w.closeSegment(); err != nil {
+		if err := w.finishSegment(); err != nil {
 			return err
 		}
 	}
@@ -109,24 +174,95 @@ func (w *Writer) rotate() error {
 	w.seg++
 	w.f = f
 	w.bw = bufio.NewWriterSize(f, 256<<10)
-	w.cur = 0
-	if _, err := w.bw.WriteString(magic); err != nil {
+	var head [segHeaderSize]byte
+	copy(head[:], magicV2)
+	head[8] = w.codecByte
+	if _, err := w.bw.Write(head[:]); err != nil {
+		f.Close()
 		return fmt.Errorf("spool: %w", err)
 	}
-	w.cur += int64(len(magic))
+	w.cur = segHeaderSize
+	w.segRecords, w.segMin, w.segMax, w.segRaw, w.segStored, w.segCRC = 0, 0, 0, 0, 0, 0
 	return nil
 }
 
-// closeSegment flushes and closes the current segment file.
-func (w *Writer) closeSegment() error {
+// flushBlock frames the pending raw block — compressed if the codec
+// shrinks it, raw otherwise — and streams it to the segment file.
+func (w *Writer) flushBlock() error {
+	if len(w.block) == 0 {
+		return nil
+	}
+	raw := w.block
+	stored := raw
+	if w.codecByte != codecIDNone {
+		w.comp = w.codec.Encode(w.comp[:0], raw)
+		if len(w.comp) < len(raw) {
+			stored = w.comp
+		}
+	}
+	var hdr [blockHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(stored)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(raw)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(stored))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	if _, err := w.bw.Write(stored); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	w.segCRC = crc32.Update(w.segCRC, crc32.IEEETable, hdr[:])
+	w.segCRC = crc32.Update(w.segCRC, crc32.IEEETable, stored)
+	n := int64(blockHeaderSize + len(stored))
+	w.cur += n
+	w.segStored += uint64(n)
+	w.segRaw += uint64(len(raw))
+	w.block = w.block[:0]
+	return nil
+}
+
+// finishSegment flushes the pending block, writes the trailer, closes the
+// file and books the segment into the in-memory manifest.
+func (w *Writer) finishSegment() error {
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+	var tr [trailerSize]byte
+	copy(tr[:8], trailerMagic)
+	binary.BigEndian.PutUint64(tr[8:16], w.segRecords)
+	binary.BigEndian.PutUint64(tr[16:24], uint64(w.segMin))
+	binary.BigEndian.PutUint64(tr[24:32], uint64(w.segMax))
+	binary.BigEndian.PutUint64(tr[32:40], w.segRaw)
+	binary.BigEndian.PutUint32(tr[40:44], w.segCRC)
+	binary.BigEndian.PutUint32(tr[44:48], crc32.ChecksumIEEE(tr[:44]))
+	if _, err := w.bw.Write(tr[:]); err != nil {
+		w.f.Close()
+		return fmt.Errorf("spool: %w", err)
+	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("spool: %w", err)
 	}
+	name := filepath.Base(w.f.Name())
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("spool: %w", err)
 	}
 	w.f = nil
+	info := SegmentInfo{
+		Name:        name,
+		Version:     2,
+		Codec:       w.codec.Name(),
+		Records:     w.segRecords,
+		RawBytes:    w.segRaw,
+		StoredBytes: w.segStored,
+		CRC:         w.segCRC,
+		Indexed:     true,
+	}
+	if w.segRecords > 0 {
+		info.Min = time.Unix(0, w.segMin).UTC()
+		info.Max = time.Unix(0, w.segMax).UTC()
+	}
+	w.manifest = append(w.manifest, info)
 	return nil
 }
 
@@ -148,168 +284,83 @@ func (w *Writer) Append(d ingest.Datagram) error {
 	if d.Sensor < 0 || int64(d.Sensor) > 0xFFFFFFFF {
 		return fmt.Errorf("spool: sensor %d out of range", d.Sensor)
 	}
-	if w.cur >= w.segBytes {
+	if w.cur+int64(len(w.block)) >= w.segBytes {
 		if err := w.rotate(); err != nil {
 			w.err = err
 			return err
 		}
 	}
+	ns := d.Time.UnixNano()
 	b := w.hdr[:]
-	binary.BigEndian.PutUint64(b[0:8], uint64(d.Time.UnixNano()))
+	binary.BigEndian.PutUint64(b[0:8], uint64(ns))
 	v16 := d.Victim.As16()
 	copy(b[8:24], v16[:])
 	binary.BigEndian.PutUint16(b[24:26], uint16(d.Port))
 	binary.BigEndian.PutUint32(b[26:30], uint32(d.Sensor))
 	binary.BigEndian.PutUint16(b[30:32], uint16(len(d.Payload)))
-	if _, err := w.bw.Write(b); err != nil {
-		w.err = fmt.Errorf("spool: %w", err)
-		return w.err
+	w.block = append(w.block, b...)
+	w.block = append(w.block, d.Payload...)
+	if w.segRecords == 0 || ns < w.segMin {
+		w.segMin = ns
 	}
-	if _, err := w.bw.Write(d.Payload); err != nil {
-		w.err = fmt.Errorf("spool: %w", err)
-		return w.err
+	if w.segRecords == 0 || ns > w.segMax {
+		w.segMax = ns
 	}
-	w.cur += recordHeaderSize + int64(len(d.Payload))
+	w.segRecords++
 	w.n++
+	if len(w.block) >= w.blockBytes {
+		if err := w.flushBlock(); err != nil {
+			w.err = err
+			return err
+		}
+	}
 	return nil
 }
 
 // Count returns the number of datagrams appended so far.
 func (w *Writer) Count() uint64 { return w.n }
 
-// Close flushes and closes the spool. The writer cannot be reused.
+// Close finishes the final segment, writes the MANIFEST and closes the
+// spool. The writer cannot be reused.
 func (w *Writer) Close() error {
 	if w.f == nil {
 		return w.err
 	}
-	err := w.closeSegment()
+	err := w.finishSegment()
+	if err == nil {
+		err = w.writeManifest()
+	}
 	if w.err == nil {
 		w.err = errors.New("spool: writer closed")
 	}
 	return err
 }
 
-// Reader replays a spool directory sequentially. It is not safe for
-// concurrent use; open one reader per replay.
-type Reader struct {
-	segs []string
-	i    int
-	f    *os.File
-	br   *bufio.Reader
-	n    uint64
-	hdr  [recordHeaderSize]byte
-}
-
-// Open opens a spool directory for sequential replay.
-func Open(dir string) (*Reader, error) {
-	segs, err := segments(dir)
-	if err != nil {
-		return nil, err
+// writeManifest writes the MANIFEST atomically (temp file + rename) so a
+// crash mid-write leaves either the old state or the new one, never a
+// torn manifest that parses.
+func (w *Writer) writeManifest() error {
+	var buf []byte
+	buf = append(buf, manifestMagic...)
+	buf = append(buf, '\n')
+	for _, s := range w.manifest {
+		var minNS, maxNS int64
+		if s.Records > 0 {
+			minNS, maxNS = s.Min.UnixNano(), s.Max.UnixNano()
+		}
+		buf = fmt.Appendf(buf, "segment %s version=%d codec=%s records=%d min=%d max=%d raw=%d stored=%d crc=%08x\n",
+			s.Name, s.Version, s.Codec, s.Records, minNS, maxNS, s.RawBytes, s.StoredBytes, s.CRC)
 	}
-	if len(segs) == 0 {
-		return nil, fmt.Errorf("spool: no segments in %s", dir)
-	}
-	r := &Reader{segs: segs}
-	if err := r.openSegment(); err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
-// openSegment opens segment r.i and validates its magic.
-func (r *Reader) openSegment() error {
-	f, err := os.Open(r.segs[r.i])
-	if err != nil {
+	buf = fmt.Appendf(buf, "end segments=%d records=%d\n", len(w.manifest), w.n)
+	path := filepath.Join(w.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return fmt.Errorf("spool: %w", err)
 	}
-	br := bufio.NewReaderSize(f, 256<<10)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil || string(head) != magic {
-		f.Close()
-		return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, r.segs[r.i])
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("spool: %w", err)
 	}
-	r.f = f
-	r.br = br
 	return nil
-}
-
-// Next returns the next datagram in spool order, io.EOF after the last
-// one, or an error wrapping ErrCorrupt for a cut-off record.
-func (r *Reader) Next() (ingest.Datagram, error) {
-	for {
-		b := r.hdr[:]
-		_, err := io.ReadFull(r.br, b)
-		if err == io.EOF {
-			// Clean segment boundary: move to the next file, or finish.
-			r.f.Close()
-			r.f = nil
-			r.i++
-			if r.i >= len(r.segs) {
-				return ingest.Datagram{}, io.EOF
-			}
-			if err := r.openSegment(); err != nil {
-				return ingest.Datagram{}, err
-			}
-			continue
-		}
-		if err != nil {
-			return ingest.Datagram{}, fmt.Errorf("%w: %s: record header cut off", ErrCorrupt, r.segs[r.i])
-		}
-		var d ingest.Datagram
-		d.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[0:8]))).UTC()
-		var v16 [16]byte
-		copy(v16[:], b[8:24])
-		addr := netip.AddrFrom16(v16)
-		if addr.Is4In6() {
-			addr = addr.Unmap()
-		}
-		d.Victim = addr
-		d.Port = int(binary.BigEndian.Uint16(b[24:26]))
-		d.Sensor = int(binary.BigEndian.Uint32(b[26:30]))
-		if n := int(binary.BigEndian.Uint16(b[30:32])); n > 0 {
-			d.Payload = make([]byte, n)
-			if _, err := io.ReadFull(r.br, d.Payload); err != nil {
-				return ingest.Datagram{}, fmt.Errorf("%w: %s: payload cut off", ErrCorrupt, r.segs[r.i])
-			}
-		}
-		r.n++
-		return d, nil
-	}
-}
-
-// Count returns the number of datagrams returned so far.
-func (r *Reader) Count() uint64 { return r.n }
-
-// Close releases the reader's current segment file.
-func (r *Reader) Close() error {
-	if r.f == nil {
-		return nil
-	}
-	err := r.f.Close()
-	r.f = nil
-	return err
-}
-
-// Replay streams every datagram in the spool through fn, stopping at the
-// first error fn returns.
-func Replay(dir string, fn func(ingest.Datagram) error) error {
-	r, err := Open(dir)
-	if err != nil {
-		return err
-	}
-	defer r.Close()
-	for {
-		d, err := r.Next()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if err := fn(d); err != nil {
-			return err
-		}
-	}
 }
 
 // segments lists dir's segment files in replay order.

@@ -1,18 +1,24 @@
-// Command docscheck is the CI documentation gate: it fails, listing the
+// Command docscheck is the CI documentation gate. It fails, listing the
 // offenders, if any Go package under internal/ or cmd/ is missing a
 // package comment (the doc paragraph above the package clause that go doc
-// and pkg.go.dev render, and that each command's -h usage mirrors).
+// and pkg.go.dev render, and that each command's -h usage mirrors) — and,
+// for the packages named by -exported, if any exported identifier
+// (function, method, type, const, var, struct field or interface method)
+// is missing its own doc comment.
 //
 // Usage:
 //
-//	go run ./internal/tools/docscheck [ROOT ...]
+//	go run ./internal/tools/docscheck [-exported DIR,DIR] [ROOT ...]
 //
-// ROOT defaults to "internal cmd", resolved relative to the working
+// ROOT defaults to "internal cmd" and -exported to
+// "internal/spool,internal/ingest", all resolved relative to the working
 // directory, which CI sets to the repository root.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -23,39 +29,60 @@ import (
 )
 
 func main() {
-	roots := os.Args[1:]
+	exported := flag.String("exported", "internal/spool,internal/ingest",
+		"comma-separated package dirs whose every exported identifier must carry a doc comment")
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"internal", "cmd"}
 	}
-	var undocumented []string
+	var problems []string
 	for _, root := range roots {
 		if _, err := os.Stat(root); os.IsNotExist(err) {
 			continue
 		}
 		dirs, err := goPackageDirs(root)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
-			os.Exit(2)
+			fail(err)
 		}
 		for _, dir := range dirs {
 			ok, err := hasPackageComment(dir)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
-				os.Exit(2)
+				fail(err)
 			}
 			if !ok {
-				undocumented = append(undocumented, dir)
+				problems = append(problems, dir+": missing package comment")
 			}
 		}
 	}
-	if len(undocumented) > 0 {
-		sort.Strings(undocumented)
-		fmt.Fprintln(os.Stderr, "docscheck: packages missing a package comment:")
-		for _, dir := range undocumented {
-			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+	for _, dir := range strings.Split(*exported, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		if _, err := os.Stat(dir); os.IsNotExist(err) {
+			continue
+		}
+		missing, err := undocumentedExported(dir)
+		if err != nil {
+			fail(err)
+		}
+		problems = append(problems, missing...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		fmt.Fprintln(os.Stderr, "docscheck: documentation gaps:")
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
 		}
 		os.Exit(1)
 	}
+}
+
+// fail reports an operational (non-gate) error and exits 2.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+	os.Exit(2)
 }
 
 // goPackageDirs returns every directory under root holding at least one
@@ -108,4 +135,128 @@ func hasPackageComment(dir string) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// undocumentedExported lists every exported identifier in dir's non-test
+// files that lacks a doc comment, as "dir: kind Name" strings.
+func undocumentedExported(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	note := func(kind, name string) {
+		missing = append(missing, fmt.Sprintf("%s: undocumented exported %s %s", filepath.ToSlash(dir), kind, name))
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(d) {
+					continue
+				}
+				if d.Doc == nil {
+					note("function", funcDisplayName(d))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						if s.Doc == nil && d.Doc == nil {
+							note("type", s.Name.Name)
+						}
+						checkTypeMembers(s, note)
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+								note(declKind(d.Tok), name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (true for plain functions): methods on unexported types are not part
+// of the package's documented surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return receiverName(d).IsExported()
+}
+
+// receiverName digs the receiver's base type identifier out of pointers
+// and type parameters.
+func receiverName(d *ast.FuncDecl) *ast.Ident {
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt
+		default:
+			return ast.NewIdent("unexported")
+		}
+	}
+}
+
+// funcDisplayName renders Name or Recv.Name for methods.
+func funcDisplayName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return receiverName(d).Name + "." + d.Name.Name
+}
+
+// checkTypeMembers requires docs on a type's exported struct fields and
+// interface methods; embedded members are skipped.
+func checkTypeMembers(s *ast.TypeSpec, note func(kind, name string)) {
+	var fields *ast.FieldList
+	kind := "field"
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		fields = t.Fields
+	case *ast.InterfaceType:
+		fields = t.Methods
+		kind = "interface method"
+	default:
+		return
+	}
+	for _, f := range fields.List {
+		for _, name := range f.Names {
+			if name.IsExported() && f.Doc == nil && f.Comment == nil {
+				note(kind, s.Name.Name+"."+name.Name)
+			}
+		}
+	}
+}
+
+// declKind names a GenDecl token for the report.
+func declKind(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return tok.String()
 }
