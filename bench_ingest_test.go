@@ -168,7 +168,10 @@ func BenchmarkIngestFanout3Sinks(b *testing.B) {
 
 // benchSpool records the shared stream to an on-disk spool under the
 // benchmark's temp dir (auto-removed when it finishes), untimed, so the
-// replay benchmarks measure disk replay rather than recording.
+// replay benchmarks measure disk replay rather than recording. Segments
+// rotate at 8 MiB instead of the 64 MiB default so the ~66 MB stream
+// spans enough segments (~9 raw) that the multi-reader benchmarks
+// measure real fan-out, not a two-segment race.
 func benchSpool(b *testing.B, codecName string) string {
 	b.Helper()
 	packets := benchIngestStream(b)
@@ -177,7 +180,7 @@ func benchSpool(b *testing.B, codecName string) string {
 		b.Fatal(err)
 	}
 	dir := filepath.Join(b.TempDir(), "spool")
-	w, err := spool.Create(dir, spool.Options{Codec: codec})
+	w, err := spool.Create(dir, spool.Options{Codec: codec, SegmentBytes: 8 << 20})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -310,6 +313,51 @@ func BenchmarkSpoolReplay(b *testing.B)            { runSpoolReplay(b, "none", 1
 func BenchmarkSpoolReplay4Readers(b *testing.B)    { runSpoolReplay(b, "none", 4) }
 func BenchmarkSpoolReplayLZ4(b *testing.B)         { runSpoolReplay(b, "lz4", 1) }
 func BenchmarkSpoolReplayLZ44Readers(b *testing.B) { runSpoolReplay(b, "lz4", 4) }
+
+// runSpoolReplayUnordered measures the order-tolerant replay path over
+// the same spool: readers hand whole segments to an unordered pipeline
+// as they finish them (no re-serialisation barrier), with the
+// cross-reader low-watermark wired into the pipeline as its expiry
+// source — the ordered-vs-unordered comparison the replay decision table
+// in ARCHITECTURE.md is based on.
+func runSpoolReplayUnordered(b *testing.B, codecName string, workers int) {
+	dir := benchSpool(b, codecName)
+	total := uint64(len(benchIngestStream(b)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchIngestConfig(runtime.GOMAXPROCS(0))
+		cfg.Unordered = true
+		in, err := ingest.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := in.RegisterSource()
+		_, err = spool.ReplayWindow(dir, spool.ReplayOptions{
+			Workers:     workers,
+			Unordered:   true,
+			OnWatermark: src.Advance,
+		}, func(d ingest.Datagram) error {
+			in.IngestDatagram(d)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.Close()
+		res, err := in.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Packets != total {
+			b.Fatalf("replayed %d packets, want %d (late=%d)", res.Stats.Packets, total, res.Stats.Late)
+		}
+	}
+	b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(total), "packets/op")
+}
+
+func BenchmarkSpoolReplayUnordered(b *testing.B)         { runSpoolReplayUnordered(b, "none", 1) }
+func BenchmarkSpoolReplayUnordered4Readers(b *testing.B) { runSpoolReplayUnordered(b, "none", 4) }
 
 // BenchmarkIngestWireDecode replays wire-format datagrams so the per-packet
 // protocol decode (port lookup + request validation) is on the measured

@@ -8,8 +8,8 @@
 // Usage:
 //
 //	booteringest [-seed N] [-shards N] [-weeks N] [-attacks N] [-wire]
-//	             [-record DIR [-compress CODEC] | -replay DIR]
-//	             [-from T] [-to T] [-replay-workers N]
+//	             [-record DIR [-compress CODEC] | -replay DIR | -spool-info DIR]
+//	             [-from T] [-to T] [-replay-workers N] [-unordered]
 //	             [-sinks topk,ndjson] [-topk K] [-ndjson FILE]
 //	             [-shed POLICY] [-queue N]
 //
@@ -19,13 +19,18 @@
 // from disk through the pipeline instead of generating; -from/-to bound
 // the replay to a time window (whole segments outside it are skipped via
 // the spool index) and -replay-workers decodes segments with N
-// concurrent readers while preserving delivery order. -sinks attaches
-// extra consumers (a country/protocol top-K ranking, an NDJSON flow
-// stream) next to the built-in weekly panel. -shed picks the overload
-// policy for full shard queues: block (lossless backpressure, default),
-// drop-newest or drop-oldest, with dropped packets accounted per sensor.
-// -wire replays wire-format datagrams through the protocol decode path
-// instead of pre-decoded packets.
+// concurrent readers. By default delivery order is preserved; -unordered
+// instead hands each decoded segment straight to an order-tolerant
+// pipeline as its reader finishes it, with the cross-reader
+// low-watermark driving flow expiry — the multi-core replay mode.
+// -spool-info DIR prints a spool's MANIFEST/segment index (records, time
+// range, codec, bytes/packet, torn segments) without replaying it.
+// -sinks attaches extra consumers (a country/protocol top-K ranking, an
+// NDJSON flow stream) next to the built-in weekly panel. -shed picks the
+// overload policy for full shard queues: block (lossless backpressure,
+// default), drop-newest or drop-oldest, with dropped packets accounted
+// per sensor. -wire replays wire-format datagrams through the protocol
+// decode path instead of pre-decoded packets.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"booters/internal/honeypot"
@@ -50,13 +56,16 @@ booter-market simulator (default), recorded once to an on-disk spool
 (-record DIR, optionally compressed with -compress lz4), or replayed
 from such a spool at disk speed (-replay DIR), whole or bounded to a
 time window (-from/-to, pruning segments via the spool index) with
--replay-workers concurrent segment readers.
+-replay-workers concurrent segment readers — in recorded order by
+default, or with -unordered delivering whole segments as readers finish
+them into an order-tolerant pipeline (true multi-core replay).
+-spool-info DIR prints a spool's segment index without replaying.
 
 Usage:
 
   booteringest [-seed N] [-shards N] [-weeks N] [-attacks N] [-wire]
-               [-record DIR [-compress CODEC] | -replay DIR]
-               [-from T] [-to T] [-replay-workers N]
+               [-record DIR [-compress CODEC] | -replay DIR | -spool-info DIR]
+               [-from T] [-to T] [-replay-workers N] [-unordered]
                [-sinks topk,ndjson] [-topk K] [-ndjson FILE]
                [-shed POLICY] [-queue N]
 
@@ -82,9 +91,11 @@ func main() {
 	recordDir := flag.String("record", "", "spool the generated stream to this directory and exit")
 	compress := flag.String("compress", "none", "spool block codec for -record: none or lz4")
 	replayDir := flag.String("replay", "", "replay a recorded spool from this directory (implies -wire)")
+	spoolInfo := flag.String("spool-info", "", "print a spool directory's segment index and exit (no replay)")
 	fromFlag := flag.String("from", "", "replay only datagrams at or after this time")
 	toFlag := flag.String("to", "", "replay only datagrams before this time")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers for -replay")
+	unordered := flag.Bool("unordered", false, "deliver segments as readers finish them through an order-tolerant pipeline (for -replay)")
 	sinksFlag := flag.String("sinks", "", "extra sinks, comma-separated: topk, ndjson")
 	topKFlag := flag.Int("topk", 5, "rows kept by the topk sink")
 	ndjsonPath := flag.String("ndjson", "flows.ndjson", "output file for the ndjson sink")
@@ -92,8 +103,14 @@ func main() {
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
 	flag.Parse()
 
-	if *recordDir != "" && *replayDir != "" {
-		log.Fatal("-record and -replay are mutually exclusive")
+	modes := 0
+	for _, dir := range []string{*recordDir, *replayDir, *spoolInfo} {
+		if dir != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		log.Fatal("-record, -replay and -spool-info are mutually exclusive")
 	}
 	// Reject flag combinations that would otherwise be silently ignored:
 	// running the wrong workload is worse than an error.
@@ -103,6 +120,9 @@ func main() {
 		}
 		if *replayWorkers != 1 {
 			log.Fatal("-replay-workers only applies to -replay")
+		}
+		if *unordered {
+			log.Fatal("-unordered only applies to -replay")
 		}
 	}
 	if *recordDir == "" && *compress != "none" {
@@ -122,6 +142,12 @@ func main() {
 	}
 
 	start := time.Date(2018, time.July, 2, 0, 0, 0, 0, time.UTC)
+
+	// Info mode: print the spool's index without touching its blocks.
+	if *spoolInfo != "" {
+		printSpoolInfo(*spoolInfo)
+		return
+	}
 
 	// Record mode: generate once, spool to disk, report, done.
 	if *recordDir != "" {
@@ -193,24 +219,34 @@ func main() {
 		QueueDepth: *queue,
 		Shed:       shed,
 		Sinks:      sinks,
+		Unordered:  *unordered,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Feed the pipeline: from the spool, or from a generated stream.
-	var fed uint64
+	var fedCount atomic.Uint64
+	fed := func() uint64 { return fedCount.Load() }
 	var spoolStats *spool.ReplayStats
 	mode := "pre-decoded"
 	replayStart := time.Now()
 	if *replayDir != "" {
 		mode = "spooled wire-format"
-		spoolStats, err = spool.ReplayWindow(*replayDir, spool.ReplayOptions{
-			From:    from,
-			To:      to,
-			Workers: *replayWorkers,
-		}, func(d ingest.Datagram) error {
-			fed++
+		opts := spool.ReplayOptions{
+			From:      from,
+			To:        to,
+			Workers:   *replayWorkers,
+			Unordered: *unordered,
+		}
+		if *unordered {
+			mode = "spooled wire-format, unordered"
+			src := in.RegisterSource()
+			defer src.Close()
+			opts.OnWatermark = src.Advance
+		}
+		spoolStats, err = spool.ReplayWindow(*replayDir, opts, func(d ingest.Datagram) error {
+			fedCount.Add(1)
 			in.IngestDatagram(d) // decode drops are counted in Stats
 			return nil
 		})
@@ -223,12 +259,12 @@ func main() {
 		if *wire {
 			mode = "wire-format"
 			for _, d := range ingest.Datagrams(packets) {
-				fed++
+				fedCount.Add(1)
 				in.IngestDatagram(d)
 			}
 		} else {
 			for _, p := range packets {
-				fed++
+				fedCount.Add(1)
 				if err := in.Ingest(p); err != nil {
 					log.Fatal(err)
 				}
@@ -247,7 +283,7 @@ func main() {
 	}
 
 	fmt.Printf("\ningested %d of %d %s packets through %d shard(s) in %v (%.0f packets/sec, GOMAXPROCS=%d, shed=%v)\n",
-		res.Stats.Packets, fed, mode, in.Shards(), elapsed.Round(time.Millisecond),
+		res.Stats.Packets, fed(), mode, in.Shards(), elapsed.Round(time.Millisecond),
 		float64(res.Stats.Packets)/elapsed.Seconds(), runtime.GOMAXPROCS(0), shed)
 	if spoolStats != nil {
 		fmt.Printf("spool: %d segment(s) read, %d skipped via index, %d record(s) outside window, %d reader(s)\n",
@@ -327,6 +363,58 @@ func main() {
 	}
 	if ndjson != nil {
 		fmt.Printf("\nstreamed %d flow lines to %s\n", ndjson.Lines(), *ndjsonPath)
+	}
+}
+
+// printSpoolInfo renders a spool directory's index — what the MANIFEST
+// and segment trailers attest — without opening any block data: per
+// segment the format version, codec, record count, time range and stored
+// footprint, then totals and every index degradation (torn trailers,
+// corrupt or missing MANIFEST, unindexed segments).
+func printSpoolInfo(dir string) {
+	idx, err := spool.LoadIndex(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(idx.Segments) == 0 {
+		log.Fatalf("no segments in %s", dir)
+	}
+	const tf = "2006-01-02T15:04:05Z"
+	fmt.Printf("%-14s %3s %-5s %10s %-20s .. %-20s %12s %9s\n",
+		"segment", "ver", "codec", "records", "min", "max", "stored", "bytes/pkt")
+	var records, raw, stored uint64
+	torn := 0
+	for _, s := range idx.Segments {
+		codec := s.Codec
+		if codec == "" {
+			codec = "-"
+		}
+		minT, maxT, bpp := "-", "-", "-"
+		if s.Indexed {
+			if s.Records > 0 {
+				minT, maxT = s.Min.UTC().Format(tf), s.Max.UTC().Format(tf)
+				bpp = fmt.Sprintf("%.1f", float64(s.StoredBytes)/float64(s.Records))
+			}
+		} else {
+			torn++
+			minT, maxT = "unindexed", "unindexed"
+		}
+		fmt.Printf("%-14s %3d %-5s %10d %-20s .. %-20s %12d %9s\n",
+			s.Name, s.Version, codec, s.Records, minT, maxT, s.StoredBytes, bpp)
+		records += s.Records
+		raw += s.RawBytes
+		stored += s.StoredBytes
+	}
+	fmt.Printf("\ntotal: %d segment(s), %d record(s), %d stored bytes", len(idx.Segments), records, stored)
+	if records > 0 {
+		fmt.Printf(" (%.1f bytes/packet stored, %.1f raw)", float64(stored)/float64(records), float64(raw)/float64(records))
+	}
+	fmt.Println()
+	if torn > 0 {
+		fmt.Printf("%d segment(s) without a trusted trailer: record counts above exclude them\n", torn)
+	}
+	for _, w := range idx.Warnings {
+		fmt.Printf("warning: %s\n", w)
 	}
 }
 

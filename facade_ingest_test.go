@@ -153,6 +153,76 @@ func TestSpoolRecordReplayFacade(t *testing.T) {
 	}
 }
 
+// TestUnorderedReplayFacade drives the order-tolerant replay path end to
+// end through the facade: record a spool, replay it unordered at 4
+// workers into a NewUnorderedIngestor, and check the panel is identical
+// to an ordered in-memory run. It also pins the guard: unordered replay
+// into an ordered ingestor must be refused, not silently corrupted.
+func TestUnorderedReplayFacade(t *testing.T) {
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           DefaultSeed,
+		Start:          time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC),
+		Weeks:          4,
+		AttacksPerWeek: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "capture")
+	n, err := RecordSpoolWith(dir, packets, SpoolRecordOptions{SegmentBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := NewIngestor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packets {
+		if err := direct.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := direct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ordered, err := NewIngestor(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplaySpoolWindow(ordered, dir, SpoolReplayOptions{Workers: 4, Unordered: true}); err == nil {
+		t.Error("unordered replay into an ordered ingestor: want an error")
+	}
+	ordered.Close()
+
+	in, err := NewUnorderedIngestor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Unordered() {
+		t.Fatal("NewUnorderedIngestor built an ordered pipeline")
+	}
+	rep, err := ReplaySpoolWindow(in, dir, SpoolReplayOptions{Workers: 4, Unordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Datagrams != n {
+		t.Fatalf("unordered replay delivered %d datagrams, want %d", rep.Datagrams, n)
+	}
+	got, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Attacks != want.Stats.Attacks || got.Stats.Flows != want.Stats.Flows || got.Stats.Late != 0 {
+		t.Errorf("unordered stats: got %+v want %+v", got.Stats, want.Stats)
+	}
+	if gt, wt := got.Global.Total(), want.Global.Total(); gt != wt {
+		t.Errorf("unordered global total: got %v want %v", gt, wt)
+	}
+}
+
 // TestSpoolWindowFacade drives the spool v2 additions through the facade:
 // record compressed, replay a time window with parallel segment readers,
 // and check the windowed panel matches a direct run over the same packet

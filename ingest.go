@@ -31,6 +31,24 @@ func NewIngestor(shards int, sinks ...ingest.Sink) (*ingest.Ingestor, error) {
 	})
 }
 
+// NewUnorderedIngestor is NewIngestor with order-tolerant flow tables:
+// every shard aggregates with the interval-merge aggregator, so packets
+// may arrive in any order at or ahead of the pipeline's low-watermark.
+// It is the pipeline ReplaySpoolWindow's Unordered mode requires —
+// parallel spool readers hand whole segments over as they finish instead
+// of re-serialising into recorded order. The panel is byte-identical to
+// the ordered pipeline's by the merge aggregator's order-independence
+// (see ARCHITECTURE.md).
+func NewUnorderedIngestor(shards int, sinks ...ingest.Sink) (*ingest.Ingestor, error) {
+	return ingest.New(ingest.Config{
+		Shards:    shards,
+		Start:     dataset.SpanStart,
+		End:       dataset.SpanEnd,
+		Sinks:     sinks,
+		Unordered: true,
+	})
+}
+
 // SpoolRecordOptions tunes RecordSpoolWith.
 type SpoolRecordOptions struct {
 	// Codec names the block compression codec: "none" (or "") and
@@ -99,11 +117,19 @@ type SpoolReplayOptions struct {
 	// without being opened.
 	From, To time.Time
 	// Workers is the number of concurrent segment readers decoding the
-	// spool; <= 1 reads inline. Records are always handed to the
-	// pipeline in recorded order regardless of Workers, which is what
-	// keeps replayed panels byte-identical to a sequential replay (see
-	// ARCHITECTURE.md).
+	// spool; <= 1 reads inline. Without Unordered, records are handed to
+	// the pipeline in recorded order regardless of Workers, which is
+	// what keeps replayed panels byte-identical to a sequential replay
+	// through an ordered pipeline (see ARCHITECTURE.md).
 	Workers int
+	// Unordered lets each reader hand its decoded segments straight to
+	// the pipeline as it finishes them — no re-serialisation barrier —
+	// with the cross-reader low-watermark (advanced from segment
+	// trailers) driving flow expiry instead of delivery order. It
+	// requires an order-tolerant ingestor (NewUnorderedIngestor or
+	// ingest.Config.Unordered); the replayed panel is still
+	// byte-identical to the ordered one.
+	Unordered bool
 }
 
 // SpoolReplayReport summarises a ReplaySpoolWindow run.
@@ -130,13 +156,26 @@ type SpoolReplayReport struct {
 // out to opts.Workers concurrent readers. Corruption never fails the
 // replay: complete records before a tear are delivered and the loss is
 // reported in the returned report, so one torn segment cannot cost the
-// rest of a capture.
+// rest of a capture. With opts.Unordered (which requires an ingestor
+// from NewUnorderedIngestor), readers feed the pipeline directly as
+// segments decode, registered as a low-watermark source so flows still
+// expire mid-replay — the multi-core replay path.
 func ReplaySpoolWindow(in *ingest.Ingestor, dir string, opts SpoolReplayOptions) (*SpoolReplayReport, error) {
-	stats, err := spool.ReplayWindow(dir, spool.ReplayOptions{
-		From:    opts.From,
-		To:      opts.To,
-		Workers: opts.Workers,
-	}, func(d ingest.Datagram) error {
+	replayOpts := spool.ReplayOptions{
+		From:      opts.From,
+		To:        opts.To,
+		Workers:   opts.Workers,
+		Unordered: opts.Unordered,
+	}
+	if opts.Unordered {
+		if !in.Unordered() {
+			return nil, errors.New("booters: unordered spool replay requires an order-tolerant ingestor (NewUnorderedIngestor)")
+		}
+		src := in.RegisterSource()
+		defer src.Close()
+		replayOpts.OnWatermark = src.Advance
+	}
+	stats, err := spool.ReplayWindow(dir, replayOpts, func(d ingest.Datagram) error {
 		if err := in.IngestDatagram(d); errors.Is(err, ingest.ErrClosed) {
 			return err
 		}

@@ -112,10 +112,33 @@ func Classify(f *Flow) Classification {
 	return Scan
 }
 
+// StaleError reports a packet rejected because its timestamp falls behind
+// the aggregator's watermark — the staleness bar below which the
+// aggregator has already committed flow closures and can no longer book a
+// packet correctly. Both the ordered Aggregator and the order-tolerant
+// MergeAggregator reject with this one rule; callers count rejected
+// packets (ingest surfaces them as Stats.Late) rather than dropping them
+// silently.
+type StaleError struct {
+	// PacketTime is the rejected packet's timestamp.
+	PacketTime time.Time
+	// Watermark is the aggregator's staleness bar at the time of
+	// rejection: packets at or after it are accepted.
+	Watermark time.Time
+}
+
+// Error renders the rejection with both timestamps.
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("honeypot: packet at %v is stale: behind the aggregator watermark %v (disorder horizon exceeded)",
+		e.PacketTime, e.Watermark)
+}
+
 // Aggregator groups a time-ordered packet stream into flows. Packets must
 // be offered in non-decreasing time order (the merged view across all
-// sensors); out-of-order packets within a small tolerance are accepted but
-// never reopen a closed flow.
+// sensors); out-of-order packets within one quiet gap of the stream head
+// are accepted but never reopen a closed flow. For input that is out of
+// order beyond that tolerance — parallel spool readers delivering whole
+// segments as they finish — use MergeAggregator instead.
 type Aggregator struct {
 	open      map[FlowKey]*Flow
 	completed []*Flow
@@ -139,11 +162,22 @@ func NewAggregatorWithGap(gap time.Duration) *Aggregator {
 	return &Aggregator{open: make(map[FlowKey]*Flow), gap: gap}
 }
 
+// Watermark returns the aggregator's staleness bar: one quiet gap behind
+// the stream head, the oldest timestamp Offer still accepts. It is the
+// zero time until the first packet or Advance.
+func (a *Aggregator) Watermark() time.Time {
+	if a.lastTime.IsZero() {
+		return time.Time{}
+	}
+	return a.lastTime.Add(-a.gap)
+}
+
 // Offer adds one packet to the aggregator, first closing any flows whose
-// quiet gap has elapsed as of the packet's timestamp.
+// quiet gap has elapsed as of the packet's timestamp. Packets behind the
+// watermark are rejected with a StaleError.
 func (a *Aggregator) Offer(p Packet) error {
-	if p.Time.Before(a.lastTime.Add(-a.gap)) {
-		return fmt.Errorf("honeypot: packet at %v is more than one flow-gap older than stream head %v", p.Time, a.lastTime)
+	if w := a.Watermark(); !w.IsZero() && p.Time.Before(w) {
+		return &StaleError{PacketTime: p.Time, Watermark: w}
 	}
 	if p.Time.After(a.lastTime) {
 		a.lastTime = p.Time

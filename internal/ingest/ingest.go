@@ -8,9 +8,14 @@
 // into flows by each shard's own aggregator using the paper's 15-minute
 // quiet-gap rule, classified as attack or scan on closure, attributed to
 // victim countries (internal/geo), and accumulated into the same weekly
-// series the batch path produces. A watermark — the maximum packet
-// timestamp observed by any producer — is broadcast periodically so idle
-// shards expire quiet flows without any global lock.
+// series the batch path produces. A watermark is broadcast periodically so
+// idle shards expire quiet flows without any global lock: with no
+// registered Sources it is the maximum packet timestamp observed (ordered
+// producers), and with Sources it is the minimum across their promised
+// frontiers — a true low-watermark, which is what lets Config.Unordered
+// pipelines accept out-of-order delivery (parallel spool readers handing
+// over whole segments as they finish) and still expire flows safely via
+// the order-tolerant interval-merge aggregator.
 //
 // Closed flows fan out to any number of Sinks — the weekly-panel
 // accumulator is built in; TopKSink and NDJSONSink ship alongside — via
@@ -132,6 +137,18 @@ type Config struct {
 	// KeepFlows retains every closed flow in the Result (costly at scale;
 	// meant for tests and small replays).
 	KeepFlows bool
+	// Unordered makes every shard use the order-tolerant interval-merge
+	// aggregator (honeypot.MergeAggregator) instead of the ordered fold,
+	// so producers may deliver packets in any order that stays at or
+	// ahead of the broadcast low-watermark. Register a Source per
+	// ordered producer (spool reader, live sensor) and Advance it as the
+	// producer's own frontier moves: the pipeline broadcasts the minimum
+	// across sources, which is what lets idle shards expire flows safely
+	// under out-of-order input. With no sources registered, an unordered
+	// pipeline never expires flows mid-run — everything closes at Close —
+	// so open-flow memory is bounded by the stream's victim spread, not
+	// by traffic recency.
+	Unordered bool
 	// Shed is the overload policy for full shard queues; the zero value is
 	// ShedBlock (lossless backpressure).
 	Shed ShedPolicy
@@ -189,12 +206,26 @@ type Ingestor struct {
 	bufs   bufPool
 	closed atomic.Bool
 
+	srcMu   sync.Mutex
+	sources []*Source
+
 	packets     atomic.Uint64
 	unknown     atomic.Uint64
 	malformed   atomic.Uint64
 	sinceMark   atomic.Uint64
 	watermark   atomic.Int64 // max packet time seen, unix nanos
 	flowsClosed atomic.Int64
+}
+
+// flowTable is the per-shard aggregator surface, satisfied by both the
+// ordered honeypot.Aggregator and the order-tolerant
+// honeypot.MergeAggregator; Config.Unordered picks which one each shard
+// owns.
+type flowTable interface {
+	Offer(honeypot.Packet) error
+	Advance(time.Time)
+	Completed() []*honeypot.Flow
+	Flush() []*honeypot.Flow
 }
 
 // envelope is one shard-channel message: either a packet batch or a
@@ -218,7 +249,7 @@ type shard struct {
 	shed         uint64
 	shedBySensor map[int]uint64
 
-	agg      *honeypot.Aggregator
+	agg      flowTable
 	branches []SinkBranch
 	sinkErr  error
 	late     uint64
@@ -236,9 +267,15 @@ func New(cfg Config) (*Ingestor, error) {
 		return nil, err
 	}
 	for i := 0; i < cfg.Shards; i++ {
+		var agg flowTable
+		if cfg.Unordered {
+			agg = honeypot.NewMergeAggregatorWithGap(cfg.Gap)
+		} else {
+			agg = honeypot.NewAggregatorWithGap(cfg.Gap)
+		}
 		s := &shard{
 			ch:       make(chan envelope, cfg.QueueDepth),
-			agg:      honeypot.NewAggregatorWithGap(cfg.Gap),
+			agg:      agg,
 			branches: in.sinks.branches[i],
 		}
 		in.shards = append(in.shards, s)
@@ -354,18 +391,115 @@ func (in *Ingestor) observe(t time.Time) {
 	}
 }
 
+// Source is one registered time-ordered producer — a spool segment
+// reader, a live sensor capture loop — feeding a pipeline whose other
+// producers may be elsewhere in stream time. Advancing a source promises
+// that every packet it delivers afterwards is stamped at or after the
+// advanced-to instant; the pipeline broadcasts the minimum across all
+// open sources as its low-watermark, the only instant at which flows can
+// safely expire when delivery is not globally ordered. Close a source
+// when its stream ends so it stops holding the watermark back.
+type Source struct {
+	in     *Ingestor
+	mark   atomic.Int64
+	closed atomic.Bool
+}
+
+// RegisterSource adds one producer to the pipeline's low-watermark set.
+// A fresh source holds the watermark at minus infinity (no flow expiry)
+// until its first Advance. Safe for concurrent use with Ingest and other
+// registrations.
+func (in *Ingestor) RegisterSource() *Source {
+	s := &Source{in: in}
+	s.mark.Store(sourceUnset)
+	in.srcMu.Lock()
+	in.sources = append(in.sources, s)
+	in.srcMu.Unlock()
+	return s
+}
+
+// sourceUnset marks a source that has not advanced yet; it pins the
+// low-watermark until the source either advances or closes.
+const sourceUnset = int64(-1 << 63)
+
+// Advance promises that every packet this source delivers from now on is
+// stamped at or after t. Only the producer that owns the source may call
+// it, and only after the Ingest calls for everything earlier than t have
+// returned. Rewinding (an earlier t) is ignored.
+func (s *Source) Advance(t time.Time) {
+	n := t.UnixNano()
+	for {
+		old := s.mark.Load()
+		if n <= old || s.mark.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Close removes the source from the low-watermark set: a finished stream
+// constrains nothing. Closing twice is a no-op.
+func (s *Source) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	in := s.in
+	in.srcMu.Lock()
+	for i, other := range in.sources {
+		if other == s {
+			in.sources = append(in.sources[:i], in.sources[i+1:]...)
+			break
+		}
+	}
+	in.srcMu.Unlock()
+}
+
+// lowWatermark returns the instant that is safely behind every packet
+// still to come, and whether one is known. With registered sources it is
+// the minimum across their promises; with none it falls back to the
+// maximum packet time seen — correct for ordered producers, which is the
+// only mode that runs sourceless — except under Unordered, where no
+// promise exists and flows must wait for Close.
+func (in *Ingestor) lowWatermark() (time.Time, bool) {
+	in.srcMu.Lock()
+	defer in.srcMu.Unlock()
+	if len(in.sources) == 0 {
+		if in.cfg.Unordered {
+			return time.Time{}, false
+		}
+		n := in.watermark.Load()
+		if n == 0 {
+			return time.Time{}, false
+		}
+		return time.Unix(0, n).UTC(), true
+	}
+	low := int64(1<<63 - 1)
+	for _, s := range in.sources {
+		if m := s.mark.Load(); m < low {
+			low = m
+		}
+	}
+	if low == sourceUnset {
+		return time.Time{}, false
+	}
+	return time.Unix(0, low).UTC(), true
+}
+
 // broadcastWatermark flushes every shard's pending buffer and enqueues a
 // watermark advance behind it, so shards that stopped receiving packets
-// still expire their quiet flows. Under a drop policy a full queue sheds
-// the mark too — marks are monotonic and periodic, so a later one catches
-// the shard up.
+// still expire their quiet flows. The mark is the multi-source
+// low-watermark (see lowWatermark); when none is known yet the flush
+// still happens but no mark is sent. Under a drop policy a full queue
+// sheds the mark too — marks are monotonic and periodic, so a later one
+// catches the shard up.
 func (in *Ingestor) broadcastWatermark() {
-	mark := time.Unix(0, in.watermark.Load()).UTC()
+	mark, ok := in.lowWatermark()
 	for _, s := range in.shards {
 		s.mu.Lock()
 		if !s.closed {
 			in.flushLocked(s)
-			in.send(s, envelope{mark: mark})
+			if ok {
+				in.send(s, envelope{mark: mark})
+			}
 		}
 		s.mu.Unlock()
 	}
@@ -493,6 +627,11 @@ func (in *Ingestor) Close() (*Result, error) {
 
 // Shards returns the worker count (for reporting).
 func (in *Ingestor) Shards() int { return len(in.shards) }
+
+// Unordered reports whether the pipeline was built with order-tolerant
+// flow tables (Config.Unordered) and therefore accepts out-of-order
+// delivery at or ahead of the source low-watermark.
+func (in *Ingestor) Unordered() bool { return in.cfg.Unordered }
 
 // shardFor maps a victim address to a shard with FNV-1a over the 16-byte
 // form, keeping every flow of a victim on one worker.

@@ -17,8 +17,11 @@ type Stats struct {
 	UnknownPort uint64
 	// Malformed counts datagrams dropped by protocol request validation.
 	Malformed uint64
-	// Late counts packets rejected for arriving more than one quiet gap
-	// behind their shard's stream head.
+	// Late counts packets rejected by the aggregator's staleness rule
+	// (honeypot.StaleError): behind the broadcast low-watermark on the
+	// order-tolerant path, or more than one quiet gap behind the shard's
+	// stream head on the ordered path. Out-of-horizon packets are never
+	// silently dropped — they all land here.
 	Late uint64
 	// Flows is the number of closed flows.
 	Flows int

@@ -21,10 +21,10 @@ type ReplayOptions struct {
 	From, To time.Time
 	// Workers is the number of concurrent segment readers; <= 1 reads
 	// segments inline on the calling goroutine. Readers decode segments
-	// in parallel, but records are always delivered to fn sequentially,
-	// in recorded spool order — the flow aggregator's quiet-gap rule is
-	// order-sensitive, so delivery order is part of the replay contract
-	// (see ARCHITECTURE.md).
+	// in parallel; unless Unordered is set, records are always delivered
+	// to fn sequentially, in recorded spool order — the ordered flow
+	// aggregator's quiet-gap rule is order-sensitive, so delivery order
+	// is part of the ordered replay contract (see ARCHITECTURE.md).
 	Workers int
 	// Strict makes any corruption fail the whole replay with an error
 	// wrapping ErrCorrupt, matching Replay. The default (false) contains
@@ -32,6 +32,30 @@ type ReplayOptions struct {
 	// the tear are delivered, the loss is booked in ReplayStats.Torn,
 	// and the replay continues with the next segment.
 	Strict bool
+	// Unordered removes the delivery-order guarantee: each reader hands
+	// its segment's records straight to fn as it decodes them, with no
+	// re-serialisation barrier and no decode-ahead claim tokens, so N
+	// workers stream N segments concurrently at full speed. fn must be
+	// safe for concurrent use, and the consumer must tolerate
+	// out-of-order delivery — pair it with an order-tolerant pipeline
+	// (ingest.Config.Unordered) and feed OnWatermark into the pipeline's
+	// low-watermark source. Records within one segment still arrive in
+	// recorded order; segments interleave arbitrarily.
+	Unordered bool
+	// OnWatermark, with Unordered, receives the cross-reader
+	// low-watermark derived from the segment trailers' minimum
+	// timestamps: after a call reporting time T, every record still to
+	// be delivered is stamped at or after T. Calls are serialised and
+	// strictly increasing. Setting it without Unordered is a
+	// configuration error ReplayWindow rejects — an ordered replay has
+	// no cross-reader watermark to report. An unindexed segment (no
+	// trusted trailer) holds the watermark back until it finishes.
+	OnWatermark func(time.Time)
+
+	// testClaimOrder, set only by tests, overrides the order unordered
+	// workers claim segments in: a permutation of the scanned segment
+	// indexes. Production replays always claim in recorded order.
+	testClaimOrder []int
 }
 
 // TornSegment records data loss met during a tolerant replay: a segment
@@ -127,8 +151,14 @@ func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error
 		stats.Warnings = append(stats.Warnings,
 			fmt.Sprintf("%d unindexed segment(s) cannot be window-pruned and will be scanned in full", unindexed))
 	}
+	if opts.OnWatermark != nil && !opts.Unordered {
+		return stats, fmt.Errorf("spool: ReplayOptions.OnWatermark requires Unordered")
+	}
 	if len(scan) == 0 {
 		return stats, nil
+	}
+	if opts.Unordered {
+		return stats, replayUnordered(dir, scan, from, to, opts, stats, fn)
 	}
 	if opts.Workers <= 1 {
 		return stats, replaySequential(dir, scan, from, to, opts.Strict, stats, fn)
@@ -317,6 +347,174 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 	}
 	wg.Wait()
 	return nil
+}
+
+// unorderedTask tracks one segment through the unordered replay; its
+// fields are written by the one worker that claims it and read after the
+// WaitGroup barrier.
+type unorderedTask struct {
+	info      *SegmentInfo
+	claimed   bool
+	delivered uint64
+	read      uint64
+	filtered  uint64
+	scanErr   error
+}
+
+// markTracker maintains the cross-reader low-watermark: the minimum
+// trailer Min across segments not yet fully delivered. Completing a
+// segment may advance it; advances are reported serialised and strictly
+// increasing. A segment without a trusted trailer contributes an unknown
+// (minus-infinity) bound until it completes.
+type markTracker struct {
+	mu   sync.Mutex
+	mins []int64
+	done []bool
+	last int64
+	fn   func(time.Time)
+}
+
+// newMarkTracker indexes the scanned segments' minimum timestamps.
+func newMarkTracker(scan []*SegmentInfo, fn func(time.Time)) *markTracker {
+	m := &markTracker{mins: make([]int64, len(scan)), done: make([]bool, len(scan)), last: math.MinInt64, fn: fn}
+	for i, info := range scan {
+		if info.Indexed && info.Records > 0 {
+			m.mins[i] = info.Min.UnixNano()
+		} else {
+			m.mins[i] = math.MinInt64
+		}
+	}
+	return m
+}
+
+// complete marks segment i fully delivered and reports the watermark if
+// it advanced.
+func (m *markTracker) complete(i int) {
+	if m == nil || m.fn == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done[i] = true
+	low := int64(math.MaxInt64)
+	for j, done := range m.done {
+		if !done && m.mins[j] < low {
+			low = m.mins[j]
+		}
+	}
+	// All segments done (MaxInt64) reports nothing: the replay is over
+	// and the consumer's flush closes everything. An unknown bound
+	// (MinInt64) reports nothing either.
+	if low > m.last && low != math.MaxInt64 && low != math.MinInt64 {
+		m.last = low
+		m.fn(time.Unix(0, low).UTC())
+	}
+}
+
+// replayUnordered fans the selected segments out to opts.Workers reader
+// goroutines that hand records straight to fn as they decode — no
+// re-serialisation barrier, no claim tokens, no buffered batches: each
+// worker's in-flight state is exactly one segment, which both bounds
+// memory and bounds the disorder horizon the consumer observes to
+// Workers segments. Segments are claimed in recorded order, and the
+// cross-reader low-watermark (min trailer Min over unfinished segments)
+// is advanced through opts.OnWatermark as segments complete, which is
+// what lets an order-tolerant pipeline expire flows mid-replay.
+func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, fn func(ingest.Datagram) error) error {
+	tasks := make([]*unorderedTask, len(scan))
+	for i, info := range scan {
+		tasks[i] = &unorderedTask{info: info}
+	}
+	claim := opts.testClaimOrder
+	if claim == nil {
+		claim = make([]int, len(tasks))
+		for i := range claim {
+			claim[i] = i
+		}
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	marks := newMarkTracker(scan, opts.OnWatermark)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	var consumerErr error
+	// terminate stops all workers; a nil err (strict-mode corruption)
+	// leaves the terminal error to the deterministic booking pass below.
+	terminate := func(err error) {
+		stopOnce.Do(func() {
+			consumerErr = err
+			close(stop)
+		})
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := int(next.Add(1)) - 1
+				if n >= len(tasks) {
+					return
+				}
+				i := claim[n]
+				t := tasks[i]
+				t.claimed = true
+				var yieldErr error
+				t.read, t.filtered, t.scanErr, yieldErr = scanSegment(idxPath(dir, t.info), from, to, func(d ingest.Datagram) error {
+					select {
+					case <-stop:
+						return errReplayStopped
+					default:
+					}
+					if err := fn(d); err != nil {
+						terminate(err)
+						return errReplayStopped
+					}
+					t.delivered++
+					return nil
+				})
+				if yieldErr != nil {
+					// The consumer (or a concurrent terminal error)
+					// aborted mid-segment; the segment is not complete,
+					// so it never advances the watermark.
+					return
+				}
+				if t.scanErr != nil && opts.Strict {
+					terminate(nil)
+					return
+				}
+				marks.complete(i)
+			}
+		}()
+	}
+	wg.Wait()
+	// Book outcomes in recorded segment order so stats (and the Torn
+	// list) are deterministic whatever the interleaving was.
+	var bookErr error
+	for _, t := range tasks {
+		if !t.claimed {
+			continue
+		}
+		stats.Records += t.delivered
+		if err := bookSegment(t.info, t.read, t.filtered, t.scanErr, opts.Strict, stats); err != nil && bookErr == nil {
+			bookErr = err
+		}
+	}
+	if consumerErr != nil {
+		return consumerErr
+	}
+	return bookErr
 }
 
 // errReplayStopped aborts a worker's scan after the sequencer hit a

@@ -1,0 +1,270 @@
+package spool
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"booters/internal/ingest"
+)
+
+// collectUnordered runs an unordered ReplayWindow, gathering the
+// delivered datagrams (under a lock: fn runs concurrently) and the
+// watermark trail.
+func collectUnordered(t *testing.T, dir string, opts ReplayOptions) ([]ingest.Datagram, []time.Time, *ReplayStats) {
+	t.Helper()
+	opts.Unordered = true
+	var mu sync.Mutex
+	var got []ingest.Datagram
+	var marks []time.Time
+	var lastMark atomic.Int64
+	lastMark.Store(-1 << 63)
+	opts.OnWatermark = func(w time.Time) {
+		marks = append(marks, w) // serialised by the tracker's lock
+		lastMark.Store(w.UnixNano())
+	}
+	stats, err := ReplayWindow(dir, opts, func(d ingest.Datagram) error {
+		if ns := d.Time.UnixNano(); ns < lastMark.Load() {
+			t.Errorf("datagram at %v delivered behind the watermark %v", d.Time, time.Unix(0, lastMark.Load()).UTC())
+		}
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("unordered ReplayWindow(%+v): %v", opts, err)
+	}
+	if stats.Records != uint64(len(got)) {
+		t.Fatalf("stats.Records = %d, delivered %d", stats.Records, len(got))
+	}
+	return got, marks, stats
+}
+
+// sortDatagrams orders datagrams deterministically for multiset
+// comparison.
+func sortDatagrams(ds []ingest.Datagram) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Victim != b.Victim {
+			return a.Victim.Less(b.Victim)
+		}
+		if a.Sensor != b.Sensor {
+			return a.Sensor < b.Sensor
+		}
+		return a.Port < b.Port
+	})
+}
+
+// TestUnorderedReplayDeliversEverythingOnce checks the unordered mode's
+// base contract across codecs, worker counts and adversarial claim
+// orders: the delivered multiset equals the recorded stream, no record is
+// ever delivered behind a reported watermark, and the watermark trail is
+// strictly increasing.
+func TestUnorderedReplayDeliversEverythingOnce(t *testing.T) {
+	datagrams := testDatagrams(t, 2, 80)
+	want := append([]ingest.Datagram(nil), datagrams...)
+	sortDatagrams(want)
+	for _, codec := range testCodecs(t) {
+		dir := filepath.Join(t.TempDir(), "spool-"+codec.Name())
+		record(t, dir, datagrams, Options{SegmentBytes: 8 << 10, BlockBytes: 4 << 10, Codec: codec})
+		idx, err := LoadIndex(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nseg := len(idx.Segments)
+		if nseg < 5 {
+			t.Fatalf("want >= 5 segments, got %d", nseg)
+		}
+		for _, workers := range []int{1, 4} {
+			for seed := int64(0); seed < 3; seed++ {
+				t.Run(fmt.Sprintf("codec=%s/workers=%d/seed=%d", codec.Name(), workers, seed), func(t *testing.T) {
+					opts := ReplayOptions{Workers: workers}
+					if seed > 0 {
+						opts.testClaimOrder = rand.New(rand.NewSource(seed)).Perm(nseg)
+					}
+					got, marks, stats := collectUnordered(t, dir, opts)
+					sortDatagrams(got)
+					sameDatagrams(t, got, want)
+					if stats.DataLost() || len(stats.Warnings) > 0 {
+						t.Errorf("clean spool: torn=%v warnings=%v", stats.Torn, stats.Warnings)
+					}
+					for i := 1; i < len(marks); i++ {
+						if !marks[i].After(marks[i-1]) {
+							t.Errorf("watermark trail not strictly increasing: %v then %v", marks[i-1], marks[i])
+						}
+					}
+					if opts.testClaimOrder == nil && len(marks) == 0 && nseg > 1 {
+						t.Error("in-order claim never advanced the watermark")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestUnorderedReplayPanelEquivalence is the acceptance property test:
+// an unordered 4-worker replay into an order-tolerant pipeline — wired
+// exactly as production does it, with a registered low-watermark source —
+// must produce a panel byte-identical to the batch reference, over
+// random segment claim orders.
+func TestUnorderedReplayPanelEquivalence(t *testing.T) {
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           13,
+		Start:          testStart,
+		Weeks:          3,
+		Sensors:        6,
+		AttacksPerWeek: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := func(shards int, unordered bool) ingest.Config {
+		return ingest.Config{
+			Shards:         shards,
+			Start:          testStart,
+			End:            testStart.AddDate(0, 0, 7*3-1),
+			BatchSize:      32,
+			WatermarkEvery: 128,
+			Unordered:      unordered,
+		}
+	}
+	want, err := ingest.Batch(cfg(1, false), packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Stats.Attacks == 0 {
+		t.Fatal("degenerate reference panel")
+	}
+	dir := filepath.Join(t.TempDir(), "spool")
+	record(t, dir, ingest.Datagrams(packets), Options{SegmentBytes: 32 << 10, Codec: newLZ4Codec()})
+	idx, err := LoadIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			in, err := ingest.New(cfg(4, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := in.RegisterSource()
+			opts := ReplayOptions{Workers: 4, Unordered: true, OnWatermark: src.Advance}
+			if seed > 0 {
+				opts.testClaimOrder = rand.New(rand.NewSource(seed)).Perm(len(idx.Segments))
+			}
+			stats, err := ReplayWindow(dir, opts, func(d ingest.Datagram) error {
+				return in.IngestDatagram(d)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Records != uint64(len(packets)) {
+				t.Fatalf("replayed %d datagrams, want %d", stats.Records, len(packets))
+			}
+			src.Close()
+			got, err := in.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Stats, want.Stats) {
+				t.Errorf("stats: got %+v want %+v", got.Stats, want.Stats)
+			}
+			if !reflect.DeepEqual(got.Global.Values, want.Global.Values) {
+				t.Errorf("global series diverged from batch reference")
+			}
+			for c, ws := range want.ByCountry {
+				if !reflect.DeepEqual(got.ByCountry[c].Values, ws.Values) {
+					t.Errorf("country %s series diverged", c)
+				}
+			}
+			for p, ws := range want.ByProtocol {
+				if !reflect.DeepEqual(got.ByProtocol[p].Values, ws.Values) {
+					t.Errorf("protocol %v series diverged", p)
+				}
+			}
+		})
+	}
+}
+
+// TestUnorderedReplayWindowed checks window filtering composes with
+// unordered delivery: the delivered multiset is exactly the window's and
+// index pruning still engages.
+func TestUnorderedReplayWindowed(t *testing.T) {
+	datagrams := testDatagrams(t, 4, 60)
+	from := testStart.AddDate(0, 0, 10)
+	to := testStart.AddDate(0, 0, 18)
+	var want []ingest.Datagram
+	for _, d := range datagrams {
+		if !d.Time.Before(from) && d.Time.Before(to) {
+			want = append(want, d)
+		}
+	}
+	sortDatagrams(want)
+	dir := filepath.Join(t.TempDir(), "spool")
+	record(t, dir, datagrams, Options{SegmentBytes: 16 << 10, BlockBytes: 4 << 10})
+	got, _, stats := collectUnordered(t, dir, ReplayOptions{From: from, To: to, Workers: 4})
+	sortDatagrams(got)
+	sameDatagrams(t, got, want)
+	if stats.SegmentsSkipped == 0 {
+		t.Error("no segments skipped: index pruning did not engage")
+	}
+}
+
+// TestUnorderedReplayErrors pins the unordered failure modes: a consumer
+// error aborts and is returned verbatim; a torn tail is surfaced in
+// stats in tolerant mode and fails with ErrCorrupt in strict mode; and
+// OnWatermark without Unordered is rejected.
+func TestUnorderedReplayErrors(t *testing.T) {
+	datagrams := testDatagrams(t, 2, 80)
+	dir := filepath.Join(t.TempDir(), "spool")
+	record(t, dir, datagrams, Options{SegmentBytes: 8 << 10, Codec: newLZ4Codec()})
+
+	errBoom := errors.New("boom")
+	var n atomic.Int64
+	_, err := ReplayWindow(dir, ReplayOptions{Workers: 4, Unordered: true}, func(ingest.Datagram) error {
+		if n.Add(1) == 100 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Fatalf("consumer error: got %v, want it verbatim", err)
+	}
+
+	if _, err := ReplayWindow(dir, ReplayOptions{OnWatermark: func(time.Time) {}}, func(ingest.Datagram) error { return nil }); err == nil {
+		t.Error("OnWatermark without Unordered: want an error")
+	}
+
+	torn := tornLastSegment(t, dir, 11)
+	var m sync.Mutex
+	var got int
+	stats, err := ReplayWindow(dir, ReplayOptions{Workers: 4, Unordered: true}, func(ingest.Datagram) error {
+		m.Lock()
+		got++
+		m.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("tolerant unordered replay of torn spool: %v", err)
+	}
+	if !stats.DataLost() || len(stats.Torn) != 1 || stats.Torn[0].Segment != torn {
+		t.Errorf("torn tail not surfaced: %+v", stats.Torn)
+	}
+	if uint64(got) != stats.Records {
+		t.Errorf("delivered %d, stats.Records %d", got, stats.Records)
+	}
+	if _, err := ReplayWindow(dir, ReplayOptions{Workers: 4, Unordered: true, Strict: true}, func(ingest.Datagram) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("strict unordered replay: got %v, want ErrCorrupt", err)
+	}
+}
