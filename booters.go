@@ -25,6 +25,8 @@
 //     classification
 //   - internal/ingest      — sharded streaming ingestion: wire-format
 //     datagrams to weekly attack series, concurrently and incrementally
+//   - internal/serve       — live analytics serving: lock-free panel
+//     snapshots from a rolling ingest, query engine and HTTP JSON API
 //   - internal/geo         — victim-IP country attribution
 //   - internal/market      — agent-based booter market simulator
 //   - internal/scrape      — self-report collection and forgery screens

@@ -1,0 +1,300 @@
+// Command booterserve is the live side of the reproduction: it drives a
+// packet stream — generated from the booter-market simulator, or recorded
+// to / replayed from an on-disk spool — through a rolling ingestion
+// pipeline while serving the accumulating weekly attack panel over an
+// HTTP JSON query API, so dashboards and model fits run against the
+// capture while it is still being ingested.
+//
+// Usage:
+//
+//	booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
+//	            [-record DIR [-compress CODEC] | -replay DIR]
+//	            [-replay-workers N] [-throttle PPS] [-exit-after-replay]
+//
+// Without a spool flag the generated stream is fed straight to the
+// pipeline. -record DIR spools the generated stream to disk first and
+// then replays it from disk (the record-once-replay-many workflow, with
+// the spool's segment index served at /v1/spool); -replay DIR replays an
+// existing spool, sizing the served panel from the spool index's time
+// range. -throttle paces ingestion to roughly PPS packets/sec so a
+// multi-week capture takes long enough to watch live. When the replay
+// finishes the pipeline closes, the final panel is published, a
+// self-check queries the server over HTTP, and the server keeps
+// answering until interrupted (-exit-after-replay exits instead, for
+// smoke tests).
+//
+// Endpoints: /v1/status, /v1/panel, /v1/series?country=C&proto=P,
+// /v1/top?by=country|protocol&k=N, /v1/model?from=T&to=T, /v1/spool,
+// /v1/metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"booters"
+	"booters/internal/honeypot"
+	"booters/internal/ingest"
+	"booters/internal/spool"
+)
+
+const usageText = `booterserve ingests a reflected-UDP packet stream through a rolling
+pipeline while serving the accumulating weekly attack panel over an HTTP
+JSON API: current panel, per-country/protocol weekly series, top-K
+rankings, spool index stats, and on-demand intervention-model fits over
+any week window (memoized per snapshot). The stream is generated from
+the booter-market simulator, optionally recorded to an on-disk spool
+first (-record DIR, the spool then replays from disk and its index is
+served at /v1/spool), or replayed from an existing spool (-replay DIR,
+panel span sized from the spool index). Ingestion can be paced with
+-throttle so live queries have something to watch; after the stream
+ends the final panel keeps being served until interrupt.
+
+Usage:
+
+  booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
+              [-record DIR [-compress CODEC] | -replay DIR]
+              [-replay-workers N] [-throttle PPS] [-exit-after-replay]
+
+Endpoints: /v1/status /v1/panel /v1/series /v1/top /v1/model /v1/spool
+/v1/metrics
+
+Flags:
+
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("booterserve: ")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
+	addr := flag.String("addr", "127.0.0.1:8190", "HTTP listen address (port 0 picks a free port)")
+	seed := flag.Int64("seed", 20191021, "stream generator seed")
+	shards := flag.Int("shards", 0, "pipeline shards (0 = GOMAXPROCS)")
+	weeks := flag.Int("weeks", 52, "generated stream length in weeks")
+	attacks := flag.Float64("attacks", 500, "mean attack flows per week")
+	recordDir := flag.String("record", "", "spool the generated stream to this directory, then replay it from disk")
+	compress := flag.String("compress", "none", "spool block codec for -record: none or lz4")
+	replayDir := flag.String("replay", "", "replay an existing spool from this directory")
+	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers")
+	throttle := flag.Float64("throttle", 0, "pace ingestion to about this many packets/sec (0 = full speed)")
+	exitAfter := flag.Bool("exit-after-replay", false, "exit after the stream ends instead of serving until interrupt")
+	flag.Parse()
+
+	if *recordDir != "" && *replayDir != "" {
+		log.Fatal("-record and -replay are mutually exclusive")
+	}
+	if *replayDir != "" && (*weeks != 52 || *attacks != 500) {
+		log.Fatal("-weeks/-attacks only apply to generated streams (the replayed spool fixes the workload)")
+	}
+
+	start := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, 7**weeks-1)
+	spoolDir := *replayDir
+
+	// Record mode: generate and spool first, then replay from disk below.
+	if *recordDir != "" {
+		codec, err := spool.CodecByName(*compress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		packets := generate(*seed, start, *weeks, *attacks)
+		w, err := spool.Create(*recordDir, spool.Options{Codec: codec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range ingest.Datagrams(packets) {
+			if err := w.Append(d); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d datagrams to %s (codec %s)\n", w.Count(), *recordDir, codec.Name())
+		spoolDir = *recordDir
+	}
+
+	// Replay mode: size the panel from the spool's own index.
+	if *replayDir != "" {
+		idx, err := spool.LoadIndex(*replayDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		min, max := indexSpan(idx)
+		if min.IsZero() {
+			log.Fatalf("spool %s has no indexed time range; record it with booterserve -record or booteringest -record", *replayDir)
+		}
+		start, end = min, max
+	}
+
+	in, err := ingest.New(ingest.Config{
+		Shards:  *shards,
+		Start:   start,
+		End:     end,
+		Rolling: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := booters.ServeSpool(in, *addr, spoolDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving on http://%s — try /v1/status, /v1/panel, /v1/top?by=country&k=5, /v1/model\n", srv.Addr())
+
+	// Feed the pipeline while the server answers queries.
+	feedStart := time.Now()
+	var fedCount atomic.Uint64
+	if spoolDir != "" {
+		pace := newPacer(*throttle)
+		stats, err := spool.ReplayWindow(spoolDir, spool.ReplayOptions{Workers: *replayWorkers}, func(d ingest.Datagram) error {
+			fedCount.Add(1)
+			in.IngestDatagram(d) // decode drops are counted in Stats
+			pace.tick()
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, w := range stats.Warnings {
+			fmt.Printf("spool: warning: %s\n", w)
+		}
+		for _, torn := range stats.Torn {
+			fmt.Printf("spool: DATA LOSS: %s: %s (%d complete records recovered)\n",
+				torn.Segment, torn.Reason, torn.Records)
+		}
+	} else {
+		packets := generate(*seed, start, *weeks, *attacks)
+		// The pacer's schedule starts here, after the generation work,
+		// so -throttle paces the feed itself from its first packet.
+		feedStart = time.Now()
+		pace := newPacer(*throttle)
+		for _, p := range packets {
+			if err := in.Ingest(p); err != nil {
+				log.Fatal(err)
+			}
+			fedCount.Add(1)
+			pace.tick()
+		}
+	}
+	fed := fedCount.Load()
+	res, err := in.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(feedStart)
+	fmt.Printf("ingested %d packets in %v (%.0f packets/sec); %d flows, %d attacks, %d scans\n",
+		fed, elapsed.Round(time.Millisecond), float64(res.Stats.Packets)/elapsed.Seconds(),
+		res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans)
+
+	// Self-check: the final panel must be queryable over real HTTP.
+	for _, path := range []string{"/v1/status", "/v1/panel"} {
+		body, err := get(srv.Addr(), path)
+		if err != nil {
+			log.Fatalf("self-check %s: %v", path, err)
+		}
+		if len(body) > 120 {
+			body = append(body[:120], "..."...)
+		}
+		fmt.Printf("self-check %s: %s\n", path, body)
+	}
+
+	if *exitAfter {
+		return
+	}
+	fmt.Printf("final panel published; still serving on http://%s — ctrl-c to stop\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+// indexSpan returns the earliest and latest indexed record timestamps in
+// the spool, or zero times when nothing is indexed.
+func indexSpan(idx *spool.Index) (min, max time.Time) {
+	for _, s := range idx.Segments {
+		if !s.Indexed || s.Records == 0 {
+			continue
+		}
+		if min.IsZero() || s.Min.Before(min) {
+			min = s.Min
+		}
+		if s.Max.After(max) {
+			max = s.Max
+		}
+	}
+	return min, max
+}
+
+// get fetches one path from the server and returns the trimmed body.
+func get(addr, path string) ([]byte, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	if n := len(body); n > 0 && body[n-1] == '\n' {
+		body = body[:n-1]
+	}
+	return body, nil
+}
+
+// pacer throttles a feed loop to a target packets/sec without a syscall
+// per packet: it checks the clock every batch and sleeps off any lead.
+type pacer struct {
+	pps     float64
+	sent    int
+	started time.Time
+}
+
+// newPacer returns a pacer for the target rate; pps <= 0 disables pacing.
+func newPacer(pps float64) *pacer { return &pacer{pps: pps, started: time.Now()} }
+
+// tick books one packet and sleeps when the feed is ahead of schedule.
+func (p *pacer) tick() {
+	if p.pps <= 0 {
+		return
+	}
+	p.sent++
+	if p.sent%256 != 0 {
+		return
+	}
+	ahead := time.Duration(float64(p.sent)/p.pps*float64(time.Second)) - time.Since(p.started)
+	if ahead > time.Millisecond {
+		time.Sleep(ahead)
+	}
+}
+
+// generate builds the synthetic market-driven packet stream.
+func generate(seed int64, start time.Time, weeks int, attacks float64) []honeypot.Packet {
+	genStart := time.Now()
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           seed,
+		Start:          start,
+		Weeks:          weeks,
+		AttacksPerWeek: attacks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d packets over %d weeks in %v\n", len(packets), weeks, time.Since(genStart).Round(time.Millisecond))
+	return packets
+}

@@ -64,6 +64,29 @@ func TestIngestorFeedsPanel(t *testing.T) {
 		}
 	}
 
+	// The country-by-protocol breakdown must arrive populated (the gap
+	// this bridge used to leave): full shape, and per-country marginals
+	// matching the country series so FitCountryModel-style exhibits can
+	// decompose by protocol.
+	for _, c := range geo.Countries() {
+		cp, ok := panel.CountryProtocol[c]
+		if !ok {
+			t.Fatalf("missing country-protocol breakdown for %s", c)
+		}
+		var cpTotal, cTotal float64
+		for _, p := range protocols.All() {
+			s, ok := cp[p]
+			if !ok {
+				t.Fatalf("missing breakdown series %s/%v", c, p)
+			}
+			cpTotal += s.Total()
+		}
+		cTotal = panel.ByCountry[c].Total()
+		if cpTotal != cTotal {
+			t.Errorf("%s breakdown total %v != country total %v", c, cpTotal, cTotal)
+		}
+	}
+
 	// The model-window slice must cover the stream's weeks: every ingested
 	// attack survives the slicing FitGlobalModel applies.
 	from, to := ModelWindow()

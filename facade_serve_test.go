@@ -1,0 +1,232 @@
+package booters
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"booters/internal/ingest"
+)
+
+// serveGet fetches one endpoint from a live server and decodes the JSON.
+func serveGet(t *testing.T, addr, path string) (map[string]any, int) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", path, body, err)
+	}
+	return out, resp.StatusCode
+}
+
+// TestServeLiveDuringReplay is the serving layer's end-to-end acceptance
+// test: record a spool, replay it through a rolling ingestor built by the
+// facade, and answer panel/top-K/spool queries over real HTTP while the
+// replay is still running — synchronised on the first sealed mid-run
+// snapshot, so the mid-replay queries deterministically observe a
+// non-final panel. After Close the final panel and model fits are served.
+func TestServeLiveDuringReplay(t *testing.T) {
+	start := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           DefaultSeed,
+		Start:          start,
+		Weeks:          6,
+		AttacksPerWeek: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "capture")
+	if _, err := RecordSpool(dir, packets); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := ingest.New(ingest.Config{
+		Shards:         2,
+		Start:          start,
+		End:            start.AddDate(0, 0, 7*6-1),
+		Rolling:        true,
+		BatchSize:      32,
+		WatermarkEvery: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeSpool(in, "127.0.0.1:0", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// gate closes when the first sealed, non-final snapshot publishes:
+	// the replay is provably still in flight when the queries below run.
+	gate := make(chan struct{})
+	gateClosed := false
+	if err := in.OnSnapshot(func(s *ingest.Snapshot) {
+		if s.Sealed && !s.Final && !gateClosed {
+			gateClosed = true
+			close(gate)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	replayDone := make(chan error, 1)
+	go func() {
+		_, err := ReplaySpoolWindow(in, dir, SpoolReplayOptions{})
+		replayDone <- err
+	}()
+
+	select {
+	case <-gate:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no sealed snapshot published mid-replay")
+	}
+
+	// Mid-replay: live queries against a non-final panel.
+	status, code := serveGet(t, srv.Addr(), "/v1/status")
+	if code != 200 {
+		t.Fatalf("mid-replay status: code %d", code)
+	}
+	if status["final"] == true {
+		t.Fatal("status claims final while the replay is running")
+	}
+	if status["sealed"] != true {
+		t.Fatal("gate passed but status not sealed")
+	}
+	panel, code := serveGet(t, srv.Addr(), "/v1/panel")
+	if code != 200 {
+		t.Fatalf("mid-replay panel: code %d", code)
+	}
+	top, code := serveGet(t, srv.Addr(), "/v1/top?by=country&k=3")
+	if code != 200 || len(top["rows"].([]any)) == 0 {
+		t.Fatalf("mid-replay top: %v (code %d)", top, code)
+	}
+	spoolInfo, code := serveGet(t, srv.Addr(), "/v1/spool")
+	if code != 200 || spoolInfo["records"].(float64) != float64(len(packets)) {
+		t.Fatalf("mid-replay spool: %v (code %d)", spoolInfo, code)
+	}
+
+	if err := <-replayDone; err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-close: the final panel is served, and it is the replay's panel.
+	status, _ = serveGet(t, srv.Addr(), "/v1/status")
+	if status["final"] != true {
+		t.Fatalf("post-close status not final: %v", status)
+	}
+	panel, _ = serveGet(t, srv.Addr(), "/v1/panel")
+	var total float64
+	for _, v := range panel["series"].(map[string]any)["values"].([]any) {
+		total += v.(float64)
+	}
+	if total != res.Global.Total() {
+		t.Fatalf("served final total %v != result total %v", total, res.Global.Total())
+	}
+
+	// Metrics saw every query.
+	metrics, _ := serveGet(t, srv.Addr(), "/v1/metrics")
+	var statusHits float64
+	for _, e := range metrics["endpoints"].([]any) {
+		m := e.(map[string]any)
+		if m["path"] == "/v1/status" {
+			statusHits = m["hits"].(float64)
+		}
+	}
+	if statusHits < 2 {
+		t.Fatalf("metrics lost hits: %v", metrics)
+	}
+}
+
+// TestServeRequiresRolling pins the facade guard.
+func TestServeRequiresRolling(t *testing.T) {
+	in, err := NewIngestor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if _, err := Serve(in, "127.0.0.1:0"); err == nil {
+		t.Fatal("Serve accepted a non-rolling ingestor")
+	}
+}
+
+// TestServeModelOverHTTP fits the Table 1 model through the HTTP API on
+// an ingested stream long enough to carry it, and checks the memo: the
+// second identical query is a cache hit.
+func TestServeModelOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model fit over 30 ingested weeks")
+	}
+	start := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+		Seed:           DefaultSeed,
+		Start:          start,
+		Weeks:          30,
+		AttacksPerWeek: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ingest.New(ingest.Config{
+		Shards:  2,
+		Start:   start,
+		End:     start.AddDate(0, 0, 7*30-1),
+		Rolling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(in, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, p := range packets {
+		if err := in.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	model, code := serveGet(t, srv.Addr(), "/v1/model")
+	if code != 200 {
+		t.Fatalf("model: %v (code %d)", model, code)
+	}
+	// Webstresser (April 2018, lagged two weeks) is inside the span, so
+	// the fit must include its dummy.
+	found := false
+	for _, e := range model["effects"].([]any) {
+		if e.(map[string]any)["name"] == "Webstresser" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Webstresser effect missing from %v", model["effects"])
+	}
+	if _, code := serveGet(t, srv.Addr(), "/v1/model"); code != 200 {
+		t.Fatal("repeat model query failed")
+	}
+	metrics, _ := serveGet(t, srv.Addr(), "/v1/metrics")
+	mc := metrics["model_cache"].(map[string]any)
+	if mc["hits"].(float64) < 1 || mc["misses"].(float64) < 1 {
+		t.Fatalf("model cache counters: %v", mc)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/protocols"
+	"booters/internal/serve"
 	"booters/internal/spool"
 	"booters/internal/timeseries"
 )
@@ -47,6 +48,64 @@ func NewUnorderedIngestor(shards int, sinks ...ingest.Sink) (*ingest.Ingestor, e
 		Sinks:     sinks,
 		Unordered: true,
 	})
+}
+
+// NewRollingIngestor is NewIngestor with rolling emission: the pipeline
+// publishes an immutable weekly-panel snapshot each time its watermark
+// carries the expiry horizon across a week boundary, plus a final one at
+// Close — the feed Serve turns into a live HTTP query API. Snapshots can
+// also be consumed directly via the ingestor's Snapshot and OnSnapshot.
+func NewRollingIngestor(shards int, sinks ...ingest.Sink) (*ingest.Ingestor, error) {
+	return ingest.New(ingest.Config{
+		Shards:  shards,
+		Start:   dataset.SpanStart,
+		End:     dataset.SpanEnd,
+		Sinks:   sinks,
+		Rolling: true,
+	})
+}
+
+// Serve attaches a live analytics server to a rolling ingestor (one from
+// NewRollingIngestor, or any ingest.Config with Rolling set) and starts
+// answering HTTP JSON queries on addr (host:port; port 0 picks a free
+// one, reported by the returned server's Addr). Queries — current panel,
+// weekly series by country/protocol, top-K rankings, on-demand
+// intervention-model fits over any week window (memoized per snapshot,
+// using the paper's Table 1 catalogue) — are served lock-free from the
+// pipeline's latest snapshot while ingestion is still running; after the
+// ingestor's Close the server keeps answering from the final panel until
+// its own Close. See internal/serve for the endpoint reference.
+func Serve(in *ingest.Ingestor, addr string) (*serve.Server, error) {
+	return ServeSpool(in, addr, "")
+}
+
+// ServeSpool is Serve with a capture spool directory wired in, so the
+// server's /v1/spool endpoint reports the segment index of the capture
+// being recorded or replayed alongside the live panel ("" disables it).
+func ServeSpool(in *ingest.Ingestor, addr, spoolDir string) (*serve.Server, error) {
+	if !in.Rolling() {
+		return nil, errors.New("booters: Serve requires a rolling ingestor (NewRollingIngestor or ingest.Config.Rolling)")
+	}
+	srv := serve.New(serve.Config{
+		Ingest:        in,
+		Interventions: Table1Interventions(),
+		SpoolDir:      spoolDir,
+	})
+	// Bind before subscribing: a failed Start must not leave a dead
+	// server permanently subscribed to the pipeline's snapshot feed.
+	if err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	if err := in.OnSnapshot(srv.Publish); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	// Seed with the current snapshot; the store's sequence guard makes
+	// this race-free against a concurrent publish.
+	if snap := in.Snapshot(); snap != nil {
+		srv.Publish(snap)
+	}
+	return srv, nil
 }
 
 // SpoolRecordOptions tunes RecordSpoolWith.
@@ -197,11 +256,11 @@ func ReplaySpoolWindow(in *ingest.Ingestor, dir string, opts SpoolReplayOptions)
 
 // PanelFromIngest bridges a completed ingestion run into a dataset.Panel so
 // the ingested stream can feed the models that read the weekly attack
-// series: FitGlobalModel, FitCountryModel, Analyze, AnalyzeNCA. Fields the
-// stream cannot know — planted ground truth, the self-report panel, the
-// country-by-protocol breakdown — are left empty, so exhibits that need
-// them (Figure 6's protocol-by-country shares, Figure 7/8's self-report
-// panel) still require the generated dataset.
+// series: FitGlobalModel, FitCountryModel, Analyze, AnalyzeNCA — and,
+// through the country-by-protocol breakdown the pipeline tracks
+// incrementally, the Figure 6 protocol-share exhibits. The one field the
+// stream cannot know — the booter self-report panel (Figure 7/8) — is left
+// empty and still requires the generated dataset.
 func PanelFromIngest(res *ingest.Result) *dataset.Panel {
 	p := &dataset.Panel{
 		Start:           res.Start,
@@ -209,13 +268,20 @@ func PanelFromIngest(res *ingest.Result) *dataset.Panel {
 		Global:          res.Global.Clone(),
 		ByCountry:       make(map[string]*timeseries.Series, len(res.ByCountry)),
 		ByProtocol:      make(map[protocols.Protocol]*timeseries.Series, len(res.ByProtocol)),
-		CountryProtocol: make(map[string]map[protocols.Protocol]*timeseries.Series),
+		CountryProtocol: make(map[string]map[protocols.Protocol]*timeseries.Series, len(res.CountryProtocol)),
 	}
 	for c, s := range res.ByCountry {
 		p.ByCountry[c] = s.Clone()
 	}
 	for proto, s := range res.ByProtocol {
 		p.ByProtocol[proto] = s.Clone()
+	}
+	for c, cp := range res.CountryProtocol {
+		dst := make(map[protocols.Protocol]*timeseries.Series, len(cp))
+		for proto, s := range cp {
+			dst[proto] = s.Clone()
+		}
+		p.CountryProtocol[c] = dst
 	}
 	return p
 }

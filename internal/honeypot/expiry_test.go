@@ -1,0 +1,138 @@
+package honeypot
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"booters/internal/protocols"
+)
+
+// naiveAggregator is the pre-heap reference: the same ordered fold with
+// expiry done by scanning the whole open-flow map on every packet. The
+// heap-driven Aggregator must produce identical flows.
+type naiveAggregator struct {
+	open      map[FlowKey]*Flow
+	completed []*Flow
+	gap       time.Duration
+}
+
+func newNaive(gap time.Duration) *naiveAggregator {
+	return &naiveAggregator{open: make(map[FlowKey]*Flow), gap: gap}
+}
+
+func (a *naiveAggregator) offer(p Packet) {
+	for key, f := range a.open {
+		if p.Time.Sub(f.Last) >= a.gap {
+			a.completed = append(a.completed, f)
+			delete(a.open, key)
+		}
+	}
+	key := FlowKey{Victim: p.Victim, Proto: p.Proto}
+	f, ok := a.open[key]
+	if !ok {
+		f = &Flow{Key: key, First: p.Time, PacketsBySensor: make(map[int]int)}
+		a.open[key] = f
+	}
+	if p.Time.After(f.Last) {
+		f.Last = p.Time
+	}
+	f.PacketsBySensor[p.Sensor]++
+	f.TotalPackets++
+	f.TotalBytes += p.Size
+}
+
+func (a *naiveAggregator) flush() []*Flow {
+	for key, f := range a.open {
+		a.completed = append(a.completed, f)
+		delete(a.open, key)
+	}
+	out := a.completed
+	a.completed = nil
+	sortFlows(out)
+	return out
+}
+
+// TestHeapExpiryMatchesNaiveScan drives both implementations with a
+// randomized ordered stream that re-opens keys repeatedly (so the heap
+// accumulates stale hints and discarded-entry tombstones) and compares
+// the complete flow sets.
+func TestHeapExpiryMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const gap = 10 * time.Minute
+	agg := NewAggregatorWithGap(gap)
+	naive := newNaive(gap)
+
+	victims := make([]netip.Addr, 20)
+	for i := range victims {
+		victims[i] = netip.AddrFrom4([4]byte{10, 0, byte(i / 256), byte(i % 256)})
+	}
+	now := time.Date(2018, time.March, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5000; i++ {
+		// Mostly small steps; occasionally jump past the gap so many
+		// flows expire at once and keys re-open.
+		step := time.Duration(rng.Intn(int(time.Minute)))
+		if rng.Intn(50) == 0 {
+			step = gap + time.Duration(rng.Intn(int(gap)))
+		}
+		now = now.Add(step)
+		p := Packet{
+			Time:   now,
+			Victim: victims[rng.Intn(len(victims))],
+			Proto:  protocols.All()[rng.Intn(protocols.Count())],
+			Sensor: rng.Intn(4),
+			Size:   64,
+		}
+		if err := agg.Offer(p); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		naive.offer(p)
+	}
+	got := append(agg.Completed(), agg.Flush()...)
+	sortFlows(got)
+	want := naive.flush()
+	if len(got) != len(want) {
+		t.Fatalf("flows: got %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Key != w.Key || !g.First.Equal(w.First) || !g.Last.Equal(w.Last) ||
+			g.TotalPackets != w.TotalPackets || g.TotalBytes != w.TotalBytes {
+			t.Fatalf("flow %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+// TestHeapExpiryReleasesClosedFlows checks the heap does not pin memory:
+// after a long run with heavy key churn and periodic expiry, the heap
+// must shrink back alongside the open-flow table instead of accumulating
+// one entry per packet.
+func TestHeapExpiryReleasesClosedFlows(t *testing.T) {
+	agg := NewAggregator()
+	now := time.Date(2018, time.March, 5, 0, 0, 0, 0, time.UTC)
+	victim := netip.MustParseAddr("10.9.9.9")
+	for burst := 0; burst < 200; burst++ {
+		for i := 0; i < 50; i++ {
+			now = now.Add(time.Second)
+			if err := agg.Offer(Packet{Time: now, Victim: victim, Proto: protocols.DNS, Sensor: 0, Size: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		now = now.Add(FlowGap + time.Minute)
+	}
+	// Drive one more packet so the last burst's flow expires too.
+	if err := agg.Offer(Packet{Time: now, Victim: victim, Proto: protocols.NTP, Sensor: 0, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.OpenFlows(); got != 1 {
+		t.Fatalf("open flows: got %d want 1", got)
+	}
+	// One live entry (maybe a few stale hints in flight) — not 10k.
+	if got := len(agg.exp); got > 4 {
+		t.Fatalf("expiry heap holds %d entries for 1 open flow", got)
+	}
+	if got := len(agg.Completed()); got != 200 {
+		t.Fatalf("completed: got %d want 200", got)
+	}
+}

@@ -139,11 +139,79 @@ func (e *StaleError) Error() string {
 // are accepted but never reopen a closed flow. For input that is out of
 // order beyond that tolerance — parallel spool readers delivering whole
 // segments as they finish — use MergeAggregator instead.
+//
+// Expiry is watermark-driven: open flows sit in a min-heap keyed by their
+// last-packet time, so each Offer peeks at the heap top instead of
+// scanning the whole open-flow table. Heap entries are lazy — a flow that
+// received more packets since its entry was pushed is re-keyed when the
+// stale entry surfaces — which keeps the per-packet cost at O(1) plus an
+// amortised O(log n) per flow closure rather than O(n) per packet.
 type Aggregator struct {
 	open      map[FlowKey]*Flow
 	completed []*Flow
 	lastTime  time.Time
 	gap       time.Duration
+	exp       expiryHeap
+}
+
+// expiryEntry schedules one open flow for an expiry check: the flow
+// cannot close before last + gap, so the heap orders checks by last. The
+// entry is a hint, not the truth — the flow's live Last is re-read when
+// the entry reaches the top.
+type expiryEntry struct {
+	last int64 // flow Last as unix nanos when the entry was (re)keyed
+	key  FlowKey
+}
+
+// expiryHeap is a hand-rolled min-heap of expiry hints ordered by last.
+// container/heap is avoided on this path: the interface indirection and
+// per-op allocations are measurable at millions of packets per second.
+type expiryHeap []expiryEntry
+
+// push adds one hint and restores the heap order.
+func (h *expiryHeap) push(e expiryEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].last <= s[i].last {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes the top hint; the caller has already inspected it.
+func (h *expiryHeap) pop() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	h.siftDown()
+}
+
+// siftDown restores heap order after the top entry was replaced or
+// re-keyed in place.
+func (h *expiryHeap) siftDown() {
+	s := *h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(s) {
+			return
+		}
+		least := left
+		if right := left + 1; right < len(s) && s[right].last < s[left].last {
+			least = right
+		}
+		if s[i].last <= s[least].last {
+			return
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
 }
 
 // NewAggregator returns an empty aggregator using the paper's 15-minute
@@ -188,6 +256,8 @@ func (a *Aggregator) Offer(p Packet) error {
 	if !ok || p.Time.Sub(f.Last) >= a.gap {
 		if ok {
 			// Quiet gap elapsed for exactly this key: close the old flow.
+			// Its heap entry is left behind and discarded when it
+			// surfaces (the key now maps to the newer flow).
 			a.completed = append(a.completed, f)
 		}
 		f = &Flow{
@@ -196,6 +266,7 @@ func (a *Aggregator) Offer(p Packet) error {
 			PacketsBySensor: make(map[int]int),
 		}
 		a.open[key] = f
+		a.exp.push(expiryEntry{last: p.Time.UnixNano(), key: key})
 	}
 	if p.Time.After(f.Last) {
 		f.Last = p.Time
@@ -207,13 +278,32 @@ func (a *Aggregator) Offer(p Packet) error {
 }
 
 // expire closes every open flow whose last packet is at least one quiet gap
-// before now.
+// before now, by draining the expiry heap only as far as the watermark
+// reaches. Every open flow holds at least one heap entry keyed at or
+// before its live Last, so nothing expirable can hide below the top.
 func (a *Aggregator) expire(now time.Time) {
-	for key, f := range a.open {
-		if now.Sub(f.Last) >= a.gap {
-			a.completed = append(a.completed, f)
-			delete(a.open, key)
+	bar := now.Add(-a.gap).UnixNano()
+	for len(a.exp) > 0 {
+		top := a.exp[0]
+		if top.last > bar {
+			return // nothing at or past the gap yet
 		}
+		f, ok := a.open[top.key]
+		if !ok {
+			a.exp.pop() // flow already closed by its key's next packet
+			continue
+		}
+		if last := f.Last.UnixNano(); last != top.last {
+			// Stale hint: the flow (or a successor flow on the same key)
+			// received packets since this entry was keyed. Re-key it in
+			// place; Last only grows, so it sinks.
+			a.exp[0].last = last
+			a.exp.siftDown()
+			continue
+		}
+		a.completed = append(a.completed, f)
+		delete(a.open, top.key)
+		a.exp.pop()
 	}
 }
 
@@ -233,6 +323,7 @@ func (a *Aggregator) Flush() []*Flow {
 		a.completed = append(a.completed, f)
 		delete(a.open, key)
 	}
+	a.exp = a.exp[:0]
 	out := a.completed
 	a.completed = nil
 	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })

@@ -43,11 +43,16 @@ import (
 	"booters/internal/geo"
 	"booters/internal/honeypot"
 	"booters/internal/protocols"
+	"booters/internal/timeseries"
 )
 
 // ErrClosed is returned by Ingest and Close after the ingestor has been
 // closed.
 var ErrClosed = errors.New("ingest: ingestor closed")
+
+// ErrNotRolling is returned by OnSnapshot when the pipeline was built
+// without Config.Rolling and therefore never publishes snapshots.
+var ErrNotRolling = errors.New("ingest: pipeline not built with Config.Rolling")
 
 // Datagram is one wire-format UDP datagram as a sensor host captures it:
 // receive timestamp, receiving sensor, (spoofed) source address, destination
@@ -149,6 +154,12 @@ type Config struct {
 	// so open-flow memory is bounded by the stream's victim spread, not
 	// by traffic recency.
 	Unordered bool
+	// Rolling publishes an immutable panel Snapshot each time the
+	// broadcast low-watermark carries the expiry horizon across a week
+	// boundary, and a Final one at Close — the live-serving feed (see
+	// rolling.go and internal/serve). Snapshots are read via Snapshot
+	// and OnSnapshot; Close's Result is unaffected.
+	Rolling bool
 	// Shed is the overload policy for full shard queues; the zero value is
 	// ShedBlock (lossless backpressure).
 	Shed ShedPolicy
@@ -202,6 +213,8 @@ type Ingestor struct {
 	shards []*shard
 	panel  *PanelSink
 	sinks  *sinkSet
+	roll   *roller
+	latest atomic.Pointer[Snapshot]
 	wg     sync.WaitGroup
 	bufs   bufPool
 	closed atomic.Bool
@@ -253,6 +266,14 @@ type shard struct {
 	branches []SinkBranch
 	sinkErr  error
 	late     uint64
+
+	// Rolling-emission state, touched only by the shard's worker: the
+	// shard's own panel accumulator (for boundary clones) and the last
+	// week it sealed.
+	index       int
+	acc         *accumulator
+	rollSealed  bool
+	rollThrough timeseries.Week
 }
 
 // New starts an ingestor with cfg.Shards workers.
@@ -277,8 +298,15 @@ func New(cfg Config) (*Ingestor, error) {
 			ch:       make(chan envelope, cfg.QueueDepth),
 			agg:      agg,
 			branches: in.sinks.branches[i],
+			index:    i,
+			acc:      in.panel.branches[i],
 		}
 		in.shards = append(in.shards, s)
+	}
+	if cfg.Rolling {
+		in.roll = newRoller(in, cfg.Shards)
+	}
+	for _, s := range in.shards {
 		in.wg.Add(1)
 		go in.run(s)
 	}
@@ -310,6 +338,9 @@ func (in *Ingestor) run(s *shard) {
 		if !env.mark.IsZero() {
 			s.agg.Advance(env.mark)
 			drain(s.agg.Completed())
+			if in.roll != nil {
+				in.roll.maybeSeal(s, env.mark)
+			}
 			continue
 		}
 		for _, p := range env.batch {
@@ -622,6 +653,9 @@ func (in *Ingestor) Close() (*Result, error) {
 	res.Stats.Late = late
 	res.Stats.Shed = shed
 	res.Stats.ShedBySensor = shedBySensor
+	if in.roll != nil {
+		in.roll.finish(res)
+	}
 	return res, sinkErr
 }
 

@@ -107,6 +107,11 @@ func compareResults(t *testing.T, want, got *Result) {
 	for p, ws := range want.ByProtocol {
 		compareSeries(t, "protocol "+p.String(), ws, got.ByProtocol[p])
 	}
+	for c, cp := range want.CountryProtocol {
+		for p, ws := range cp {
+			compareSeries(t, "country "+c+" protocol "+p.String(), ws, got.CountryProtocol[c][p])
+		}
+	}
 	if len(got.Flows) != len(want.Flows) {
 		t.Fatalf("flows: got %d want %d", len(got.Flows), len(want.Flows))
 	}
@@ -137,6 +142,31 @@ func compareSeries(t *testing.T, name string, want, got *timeseries.Series) {
 		if got.Values[i] != v {
 			t.Errorf("%s week %v: got %v want %v", name, want.Week(i), got.Values[i], v)
 		}
+	}
+}
+
+// TestCountryProtocolMarginals pins the Figure 6 breakdown's internal
+// consistency: for every country, summing its per-protocol series over
+// protocols reproduces the country's weekly attack series (both credit
+// every attributed country once per attack).
+func TestCountryProtocolMarginals(t *testing.T) {
+	packets := testStream(t, 4, 120)
+	res := runStream(t, testConfig(4, 4, false), packets)
+	if res.Stats.Attacks == 0 {
+		t.Fatal("degenerate stream")
+	}
+	for c, ws := range res.ByCountry {
+		cp, ok := res.CountryProtocol[c]
+		if !ok {
+			t.Fatalf("country %s missing from the breakdown", c)
+		}
+		sum := timeseries.NewSeries(ws.StartWeek, ws.Len())
+		for _, s := range cp {
+			if err := sum.AddSeries(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		compareSeries(t, "country "+c+" marginal", ws, sum)
 	}
 }
 

@@ -58,6 +58,13 @@ type Result struct {
 	ByCountry map[string]*timeseries.Series
 	// ByProtocol maps protocol to its weekly global attack series.
 	ByProtocol map[protocols.Protocol]*timeseries.Series
+	// CountryProtocol maps country code to protocol to the weekly series
+	// of attacks attributed to that country over that protocol — the
+	// Figure 6 breakdown, tracked incrementally so protocol-share
+	// exhibits run off ingested data. Every (country, protocol) pair in
+	// the address plan is present, zero-filled when unseen, mirroring
+	// the generated dataset's shape.
+	CountryProtocol map[string]map[protocols.Protocol]*timeseries.Series
 	// Flows holds every closed flow when Config.KeepFlows is set, ordered
 	// by first packet (ties by victim then protocol).
 	Flows []*honeypot.Flow
@@ -72,10 +79,11 @@ type accumulator struct {
 	tbl  *geo.Table
 	keep bool
 
-	global     *timeseries.Series
-	byCountry  map[string]*timeseries.Series
-	byProtocol map[protocols.Protocol]*timeseries.Series
-	kept       []*honeypot.Flow
+	global       *timeseries.Series
+	byCountry    map[string]*timeseries.Series
+	byProtocol   map[protocols.Protocol]*timeseries.Series
+	countryProto map[string]map[protocols.Protocol]*timeseries.Series
+	kept         []*honeypot.Flow
 
 	flows, attacks, scans, unattributed, outOfSpan int
 }
@@ -85,14 +93,20 @@ func newAccumulator(cfg *Config) *accumulator {
 	start := timeseries.WeekOf(cfg.Start)
 	weeks := timeseries.WeeksBetween(start, timeseries.WeekOf(cfg.End)) + 1
 	a := &accumulator{
-		tbl:        cfg.Geo,
-		keep:       cfg.KeepFlows,
-		global:     timeseries.NewSeries(start, weeks),
-		byCountry:  make(map[string]*timeseries.Series),
-		byProtocol: make(map[protocols.Protocol]*timeseries.Series),
+		tbl:          cfg.Geo,
+		keep:         cfg.KeepFlows,
+		global:       timeseries.NewSeries(start, weeks),
+		byCountry:    make(map[string]*timeseries.Series),
+		byProtocol:   make(map[protocols.Protocol]*timeseries.Series),
+		countryProto: make(map[string]map[protocols.Protocol]*timeseries.Series),
 	}
 	for _, c := range geo.Countries() {
 		a.byCountry[c] = timeseries.NewSeries(start, weeks)
+		cp := make(map[protocols.Protocol]*timeseries.Series, protocols.Count())
+		for _, p := range protocols.All() {
+			cp[p] = timeseries.NewSeries(start, weeks)
+		}
+		a.countryProto[c] = cp
 	}
 	for _, p := range protocols.All() {
 		a.byProtocol[p] = timeseries.NewSeries(start, weeks)
@@ -126,6 +140,7 @@ func (a *accumulator) Consume(f *honeypot.Flow, c honeypot.Classification) error
 	}
 	for _, c := range countries {
 		a.byCountry[c].Add(f.First, 1)
+		a.countryProto[c][f.Key.Proto].Add(f.First, 1)
 	}
 	return nil
 }
@@ -137,12 +152,13 @@ func (a *accumulator) Consume(f *honeypot.Flow, c honeypot.Classification) error
 func mergeResult(accs []*accumulator) *Result {
 	first := accs[0]
 	res := &Result{
-		Start:      first.global.StartWeek,
-		Weeks:      first.global.Len(),
-		Global:     first.global,
-		ByCountry:  first.byCountry,
-		ByProtocol: first.byProtocol,
-		Flows:      first.kept,
+		Start:           first.global.StartWeek,
+		Weeks:           first.global.Len(),
+		Global:          first.global,
+		ByCountry:       first.byCountry,
+		ByProtocol:      first.byProtocol,
+		CountryProtocol: first.countryProto,
+		Flows:           first.kept,
 	}
 	res.Stats.Flows = first.flows
 	res.Stats.Attacks = first.attacks
@@ -156,6 +172,11 @@ func mergeResult(accs []*accumulator) *Result {
 		}
 		for p, s := range a.byProtocol {
 			_ = res.ByProtocol[p].AddSeries(s)
+		}
+		for c, cp := range a.countryProto {
+			for p, s := range cp {
+				_ = res.CountryProtocol[c][p].AddSeries(s)
+			}
 		}
 		res.Flows = append(res.Flows, a.kept...)
 		res.Stats.Flows += a.flows

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"booters/internal/geo"
+	"booters/internal/ingest"
+	"booters/internal/spool"
+)
+
+// getJSON fetches url and decodes the response body (which must be valid
+// JSON — the encoders are hand-rolled, so every test doubles as an
+// encoding check), returning the decoded object and status code.
+func getJSON(t *testing.T, url string) (map[string]any, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", url, body, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s: content type %q", url, ct)
+	}
+	return out, resp.StatusCode
+}
+
+// servedHTTP runs a full rolling ingest wired into a Server mounted on an
+// httptest server, optionally recording the stream to a spool first so
+// /v1/spool has something to report.
+func servedHTTP(t *testing.T, weeks int, attacksPerWeek float64, withSpool bool) (*Server, *httptest.Server, *ingest.Result) {
+	t.Helper()
+	packets := testStream(t, weeks, attacksPerWeek)
+	cfg := Config{}
+	if withSpool {
+		dir := filepath.Join(t.TempDir(), "spool")
+		w, err := spool.Create(dir, spool.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ingest.Datagrams(packets) {
+			if err := w.Append(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		cfg.SpoolDir = dir
+	}
+	in, err := ingest.New(testIngestConfig(2, weeks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ingest = in
+	srv := New(cfg)
+	if err := in.OnSnapshot(srv.Publish); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish(in.Snapshot())
+	for _, p := range packets {
+		if err := in.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hts := httptest.NewServer(srv.Handler())
+	t.Cleanup(hts.Close)
+	return srv, hts, res
+}
+
+// TestHTTPEndpoints drives every endpoint once against a completed run
+// and checks the JSON answers against the pipeline's Result.
+func TestHTTPEndpoints(t *testing.T) {
+	_, hts, res := servedHTTP(t, 4, 50, true)
+
+	status, code := getJSON(t, hts.URL+"/v1/status")
+	if code != 200 || status["final"] != true {
+		t.Fatalf("status: %v (code %d)", status, code)
+	}
+	if got := status["attacks"].(float64); int(got) != res.Stats.Attacks {
+		t.Errorf("status attacks: got %v want %d", got, res.Stats.Attacks)
+	}
+
+	panel, code := getJSON(t, hts.URL+"/v1/panel")
+	if code != 200 {
+		t.Fatalf("panel code %d", code)
+	}
+	values := panel["series"].(map[string]any)["values"].([]any)
+	if len(values) != res.Weeks {
+		t.Errorf("panel weeks: got %d want %d", len(values), res.Weeks)
+	}
+	var total float64
+	for _, v := range values {
+		total += v.(float64)
+	}
+	if total != res.Global.Total() {
+		t.Errorf("panel total: got %v want %v", total, res.Global.Total())
+	}
+
+	series, code := getJSON(t, hts.URL+"/v1/series?country="+geo.US)
+	if code != 200 {
+		t.Fatalf("series code %d: %v", code, series)
+	}
+	if _, code := getJSON(t, hts.URL+"/v1/series?country=XX"); code != 404 {
+		t.Errorf("unknown country: code %d want 404", code)
+	}
+
+	top, code := getJSON(t, hts.URL+"/v1/top?by=country&k=3")
+	if code != 200 || len(top["rows"].([]any)) != 3 {
+		t.Fatalf("top: %v (code %d)", top, code)
+	}
+	if _, code := getJSON(t, hts.URL+"/v1/top?by=victim"); code != 400 {
+		t.Errorf("bad by: code %d want 400", code)
+	}
+	if _, code := getJSON(t, hts.URL+"/v1/top?k=-1"); code != 400 {
+		t.Errorf("bad k: code %d want 400", code)
+	}
+
+	sp, code := getJSON(t, hts.URL+"/v1/spool")
+	if code != 200 {
+		t.Fatalf("spool: %v (code %d)", sp, code)
+	}
+	if recs := sp["records"].(float64); recs == 0 {
+		t.Error("spool records: got 0")
+	}
+
+	// 4 weeks is too short for the seasonal model: a clean 422, not a 500.
+	if _, code := getJSON(t, hts.URL+"/v1/model"); code != 422 {
+		t.Errorf("short model window: code %d want 422", code)
+	}
+	if _, code := getJSON(t, hts.URL+"/v1/model?from=bogus"); code != 400 {
+		t.Errorf("bad from: code %d want 400", code)
+	}
+
+	metrics, code := getJSON(t, hts.URL+"/v1/metrics")
+	if code != 200 {
+		t.Fatalf("metrics code %d", code)
+	}
+	eps := metrics["endpoints"].([]any)
+	byPath := map[string]map[string]any{}
+	for _, e := range eps {
+		m := e.(map[string]any)
+		byPath[m["path"].(string)] = m
+	}
+	if hits := byPath["/v1/top"]["hits"].(float64); hits != 3 {
+		t.Errorf("/v1/top hits: got %v want 3", hits)
+	}
+	if errs := byPath["/v1/top"]["errors"].(float64); errs != 2 {
+		t.Errorf("/v1/top errors: got %v want 2", errs)
+	}
+	if byPath["/v1/panel"]["avg_ns"].(float64) <= 0 {
+		t.Error("panel latency accounting missing")
+	}
+}
+
+// TestHTTPNoSnapshot pins the cold-start contract: panel queries answer
+// 503 until a snapshot lands, status always answers.
+func TestHTTPNoSnapshot(t *testing.T) {
+	srv := New(Config{})
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	if _, code := getJSON(t, hts.URL+"/v1/panel"); code != 503 {
+		t.Errorf("panel: code %d want 503", code)
+	}
+	if _, code := getJSON(t, hts.URL+"/v1/series"); code != 503 {
+		t.Errorf("series: code %d want 503", code)
+	}
+	if st, code := getJSON(t, hts.URL+"/v1/status"); code != 200 || st["seq"].(float64) != 0 {
+		t.Errorf("status: %v (code %d)", st, code)
+	}
+	if _, code := getJSON(t, hts.URL+"/v1/spool"); code != 404 {
+		t.Errorf("spool: code %d want 404", code)
+	}
+}
+
+// TestQueryDuringIngest is the serving layer's race test: HTTP and
+// direct-engine readers hammer every query while the pipeline is
+// ingesting and swapping snapshots under them. Run under -race (CI does),
+// this checks the lock-free read path against the collector's publishes;
+// functionally it checks queries never fail once the first snapshot is in
+// and the totals served only grow.
+func TestQueryDuringIngest(t *testing.T) {
+	const weeks = 6
+	packets := testStream(t, weeks, 80)
+	in, err := ingest.New(testIngestConfig(4, weeks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Ingest: in})
+	if err := in.OnSnapshot(srv.Publish); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish(in.Snapshot())
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var fail sync.Once
+	var failure error
+	fatal := func(err error) { fail.Do(func() { failure = err }) }
+
+	// Direct engine readers: monotone totals, no errors.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng := srv.Engine()
+			var lastTotal float64
+			var lastSeq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := eng.Snapshot()
+				if snap.Seq < lastSeq {
+					fatal(fmt.Errorf("snapshot sequence went backwards: %d after %d", snap.Seq, lastSeq))
+					return
+				}
+				lastSeq = snap.Seq
+				g, err := eng.Series("", "")
+				if err != nil {
+					fatal(err)
+					return
+				}
+				if total := g.Total(); total < lastTotal {
+					fatal(fmt.Errorf("served total shrank: %v after %v", total, lastTotal))
+					return
+				} else {
+					lastTotal = total
+				}
+				if _, err := eng.TopCountries(5); err != nil {
+					fatal(err)
+					return
+				}
+			}
+		}()
+	}
+	// HTTP readers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := hts.Client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/v1/status", "/v1/panel", "/v1/top?by=protocol"} {
+					resp, err := client.Get(hts.URL + path)
+					if err != nil {
+						fatal(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						fatal(fmt.Errorf("%s: status %d mid-ingest", path, resp.StatusCode))
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for _, p := range packets {
+		if err := in.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if failure != nil {
+		t.Fatal(failure)
+	}
+	// After Close the served panel is the final one.
+	g, err := srv.Engine().Series("", "")
+	if err != nil || g.Total() != res.Global.Total() {
+		t.Fatalf("post-close serve: total %v want %v (err %v)", g.Total(), res.Global.Total(), err)
+	}
+	if !srv.Engine().Snapshot().Final {
+		t.Fatal("store does not hold the final snapshot after Close")
+	}
+}
+
+// TestServerStartAddrClose exercises the real listener path: bind an
+// ephemeral port, answer one request, close.
+func TestServerStartAddrClose(t *testing.T) {
+	srv := New(Config{})
+	if srv.Addr() != "" {
+		t.Fatal("Addr before Start")
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	st, code := getJSON(t, "http://"+srv.Addr()+"/v1/status")
+	if code != 200 || st["seq"].(float64) != 0 {
+		t.Fatalf("status over real listener: %v (code %d)", st, code)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/v1/status"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}

@@ -11,9 +11,9 @@
 //	go run ./internal/tools/docscheck [-exported DIR,DIR] [ROOT ...]
 //
 // ROOT defaults to "internal cmd" and -exported to
-// "internal/spool,internal/ingest,internal/honeypot", all resolved
-// relative to the working directory, which CI sets to the repository
-// root.
+// "internal/spool,internal/ingest,internal/honeypot,internal/serve",
+// all resolved relative to the working directory, which CI sets to the
+// repository root.
 package main
 
 import (
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exported := flag.String("exported", "internal/spool,internal/ingest,internal/honeypot",
+	exported := flag.String("exported", "internal/spool,internal/ingest,internal/honeypot,internal/serve",
 		"comma-separated package dirs whose every exported identifier must carry a doc comment")
 	flag.Parse()
 	roots := flag.Args()
