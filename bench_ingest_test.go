@@ -22,6 +22,7 @@ import (
 
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
+	"booters/internal/obs"
 	"booters/internal/spool"
 )
 
@@ -64,12 +65,19 @@ func benchIngestConfig(shards int) ingest.Config {
 }
 
 // runIngestBenchmark replays the stream through a fresh pipeline per
-// iteration and reports throughput.
-func runIngestBenchmark(b *testing.B, shards int) {
+// iteration and reports throughput. withMetrics attaches a full obs
+// registry — the per-packet hot path then pays its one uncontended
+// atomic add — so benchjson can gate the instrumentation overhead
+// (BenchmarkIngest1Shard vs BenchmarkIngest1ShardMetrics, ≤3% ns/op).
+func runIngestBenchmark(b *testing.B, shards int, withMetrics bool) {
 	packets := benchIngestStream(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in, err := ingest.New(benchIngestConfig(shards))
+		cfg := benchIngestConfig(shards)
+		if withMetrics {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		in, err := ingest.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,16 +93,26 @@ func runIngestBenchmark(b *testing.B, shards int) {
 		if res.Stats.Attacks == 0 {
 			b.Fatal("no attacks classified")
 		}
+		if withMetrics {
+			if got, _ := cfg.Metrics.Sum("booters_ingest_packets_total"); got != float64(len(packets)) {
+				b.Fatalf("metrics counted %v packets, want %d", got, len(packets))
+			}
+		}
 	}
 	b.ReportMetric(float64(len(packets))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 	b.ReportMetric(float64(len(packets)), "packets/op")
 }
 
-func BenchmarkIngest1Shard(b *testing.B) { runIngestBenchmark(b, 1) }
-func BenchmarkIngest4Shard(b *testing.B) { runIngestBenchmark(b, 4) }
+func BenchmarkIngest1Shard(b *testing.B) { runIngestBenchmark(b, 1, false) }
+func BenchmarkIngest4Shard(b *testing.B) { runIngestBenchmark(b, 4, false) }
 func BenchmarkIngestMaxShard(b *testing.B) {
-	runIngestBenchmark(b, runtime.GOMAXPROCS(0))
+	runIngestBenchmark(b, runtime.GOMAXPROCS(0), false)
 }
+
+// Metrics-on twins: the same replay with the registry attached. CI's
+// bench smoke compares these against the plain runs via benchjson.
+func BenchmarkIngest1ShardMetrics(b *testing.B) { runIngestBenchmark(b, 1, true) }
+func BenchmarkIngest4ShardMetrics(b *testing.B) { runIngestBenchmark(b, 4, true) }
 
 // BenchmarkIngestBatchBaseline runs the same replay through the
 // single-threaded batch reference — the number the sharded pipeline has to

@@ -11,7 +11,7 @@
 //	             [-record DIR [-compress CODEC] | -replay DIR | -spool-info DIR]
 //	             [-from T] [-to T] [-replay-workers N] [-unordered]
 //	             [-sinks topk,ndjson] [-topk K] [-ndjson FILE]
-//	             [-shed POLICY] [-queue N]
+//	             [-shed POLICY] [-queue N] [-pprof ADDR] [-progress DUR]
 //
 // -record DIR generates the synthetic stream, spools it to DIR as
 // wire-format datagrams and exits; -compress lz4 stores the spool's
@@ -31,6 +31,11 @@
 // default), drop-newest or drop-oldest, with dropped packets accounted
 // per sensor. -wire replays wire-format datagrams through the protocol
 // decode path instead of pre-decoded packets.
+//
+// The run is fully instrumented through internal/obs: -progress DUR emits
+// a one-line structured status report (packets, late, queue depth,
+// watermark lag, derived rate) to stderr every DUR, and -pprof ADDR
+// serves the net/http/pprof profiles for on-demand CPU/heap capture.
 package main
 
 import (
@@ -46,6 +51,7 @@ import (
 
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
+	"booters/internal/obs"
 	"booters/internal/spool"
 )
 
@@ -67,7 +73,7 @@ Usage:
                [-record DIR [-compress CODEC] | -replay DIR | -spool-info DIR]
                [-from T] [-to T] [-replay-workers N] [-unordered]
                [-sinks topk,ndjson] [-topk K] [-ndjson FILE]
-               [-shed POLICY] [-queue N]
+               [-shed POLICY] [-queue N] [-pprof ADDR] [-progress DUR]
 
 Times for -from/-to parse as RFC 3339 ("2018-10-01T00:00:00Z") or as a
 bare UTC date ("2018-10-01").
@@ -101,7 +107,17 @@ func main() {
 	ndjsonPath := flag.String("ndjson", "flows.ndjson", "output file for the ndjson sink")
 	shedFlag := flag.String("shed", "block", "overload policy: block, drop-newest or drop-oldest")
 	queue := flag.Int("queue", 0, "per-shard queue depth in batches (0 = default)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (empty = off)")
+	progressEvery := flag.Duration("progress", 0, "emit a structured progress line to stderr this often (0 = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		_, bound, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("-pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	modes := 0
 	for _, dir := range []string{*recordDir, *replayDir, *spoolInfo} {
@@ -157,18 +173,24 @@ func main() {
 		}
 		packets := generate(*seed, start, *weeks, *attacks)
 		recordStart := time.Now()
-		w, err := spool.Create(*recordDir, spool.Options{Codec: codec})
+		w, err := spool.Create(*recordDir, spool.Options{Codec: codec, Metrics: obs.Default()})
 		if err != nil {
 			log.Fatal(err)
 		}
+		var recorded atomic.Uint64
+		stopProgress := startProgress(*progressEvery, func() []obs.Field {
+			return []obs.Field{obs.F("datagrams", recorded.Load())}
+		})
 		for _, d := range ingest.Datagrams(packets) {
 			if err := w.Append(d); err != nil {
 				log.Fatal(err)
 			}
+			recorded.Add(1)
 		}
 		if err := w.Close(); err != nil {
 			log.Fatal(err)
 		}
+		stopProgress()
 		elapsed := time.Since(recordStart)
 		fmt.Printf("recorded %d datagrams to %s in %v (%.0f datagrams/sec, codec %s)\n",
 			w.Count(), *recordDir, elapsed.Round(time.Millisecond),
@@ -220,6 +242,7 @@ func main() {
 		Shed:       shed,
 		Sinks:      sinks,
 		Unordered:  *unordered,
+		Metrics:    obs.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -228,6 +251,9 @@ func main() {
 	// Feed the pipeline: from the spool, or from a generated stream.
 	var fedCount atomic.Uint64
 	fed := func() uint64 { return fedCount.Load() }
+	stopProgress := startProgress(*progressEvery, func() []obs.Field {
+		return pipelineFields(in, fed)
+	})
 	var spoolStats *spool.ReplayStats
 	mode := "pre-decoded"
 	replayStart := time.Now()
@@ -238,6 +264,7 @@ func main() {
 			To:        to,
 			Workers:   *replayWorkers,
 			Unordered: *unordered,
+			Metrics:   obs.Default(),
 		}
 		if *unordered {
 			mode = "spooled wire-format, unordered"
@@ -275,6 +302,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	stopProgress()
 	elapsed := time.Since(replayStart)
 	if ndjsonFile != nil {
 		if err := ndjsonFile.Close(); err != nil {
@@ -416,6 +444,39 @@ func printSpoolInfo(dir string) {
 	for _, w := range idx.Warnings {
 		fmt.Printf("warning: %s\n", w)
 	}
+}
+
+// startProgress starts a stderr progress logger when -progress is set and
+// returns its stop function; a zero interval returns a no-op.
+func startProgress(every time.Duration, snapshot func() []obs.Field) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	p := obs.NewProgress(os.Stderr, every, snapshot)
+	p.Start()
+	return p.Stop
+}
+
+// pipelineFields builds one progress line's fields from the live
+// pipeline: the fed count first (it drives the derived rate), then the
+// late-packet count and whatever scrape-time state the registry carries —
+// total queued batches, watermark lag, shed packets once any were shed.
+func pipelineFields(in *ingest.Ingestor, fed func() uint64) []obs.Field {
+	fields := []obs.Field{obs.F("packets", fed()), obs.F("late", in.Late())}
+	reg := in.Metrics()
+	if reg == nil {
+		return fields
+	}
+	if q, ok := reg.Sum("booters_ingest_queue_depth"); ok {
+		fields = append(fields, obs.F("queue", int(q)))
+	}
+	if lag, ok := reg.Sum("booters_ingest_watermark_lag_seconds"); ok {
+		fields = append(fields, obs.F("lag_s", fmt.Sprintf("%.1f", lag)))
+	}
+	if shed, ok := reg.Sum("booters_ingest_shed_packets_total"); ok && shed > 0 {
+		fields = append(fields, obs.F("shed", uint64(shed)))
+	}
+	return fields
 }
 
 // parseTimeFlag parses a -from/-to value: RFC 3339, or a bare UTC date.

@@ -10,6 +10,7 @@
 //	booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
 //	            [-record DIR [-compress CODEC] | -replay DIR]
 //	            [-replay-workers N] [-throttle PPS] [-exit-after-replay]
+//	            [-pprof ADDR] [-progress DUR]
 //
 // Without a spool flag the generated stream is fed straight to the
 // pipeline. -record DIR spools the generated stream to disk first and
@@ -22,6 +23,12 @@
 // self-check queries the server over HTTP, and the server keeps
 // answering until interrupted (-exit-after-replay exits instead, for
 // smoke tests).
+//
+// The whole pipeline is instrumented through internal/obs: /v1/metrics
+// serves the Prometheus text exposition (ingest, spool, serving and
+// model-cache families from one registry), -progress DUR emits a
+// one-line structured status report to stderr every DUR, and -pprof ADDR
+// serves the net/http/pprof profiles.
 //
 // Endpoints: /v1/status, /v1/panel, /v1/series?country=C&proto=P,
 // /v1/top?by=country|protocol&k=N, /v1/model?from=T&to=T, /v1/spool,
@@ -43,6 +50,7 @@ import (
 	"booters"
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
+	"booters/internal/obs"
 	"booters/internal/spool"
 )
 
@@ -63,9 +71,10 @@ Usage:
   booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
               [-record DIR [-compress CODEC] | -replay DIR]
               [-replay-workers N] [-throttle PPS] [-exit-after-replay]
+              [-pprof ADDR] [-progress DUR]
 
 Endpoints: /v1/status /v1/panel /v1/series /v1/top /v1/model /v1/spool
-/v1/metrics
+/v1/metrics (Prometheus text exposition)
 
 Flags:
 
@@ -89,7 +98,17 @@ func main() {
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers")
 	throttle := flag.Float64("throttle", 0, "pace ingestion to about this many packets/sec (0 = full speed)")
 	exitAfter := flag.Bool("exit-after-replay", false, "exit after the stream ends instead of serving until interrupt")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (empty = off)")
+	progressEvery := flag.Duration("progress", 0, "emit a structured progress line to stderr this often (0 = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		_, bound, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("-pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	if *recordDir != "" && *replayDir != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
@@ -109,7 +128,7 @@ func main() {
 			log.Fatal(err)
 		}
 		packets := generate(*seed, start, *weeks, *attacks)
-		w, err := spool.Create(*recordDir, spool.Options{Codec: codec})
+		w, err := spool.Create(*recordDir, spool.Options{Codec: codec, Metrics: obs.Default()})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -143,6 +162,7 @@ func main() {
 		Start:   start,
 		End:     end,
 		Rolling: true,
+		Metrics: obs.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -157,9 +177,20 @@ func main() {
 	// Feed the pipeline while the server answers queries.
 	feedStart := time.Now()
 	var fedCount atomic.Uint64
+	stopProgress := startProgress(*progressEvery, func() []obs.Field {
+		fields := []obs.Field{obs.F("packets", fedCount.Load()), obs.F("late", in.Late())}
+		reg := in.Metrics()
+		if seq, ok := reg.Sum("booters_snapshot_seq"); ok {
+			fields = append(fields, obs.F("seq", uint64(seq)))
+		}
+		if lag, ok := reg.Sum("booters_ingest_watermark_lag_seconds"); ok {
+			fields = append(fields, obs.F("lag_s", fmt.Sprintf("%.1f", lag)))
+		}
+		return fields
+	})
 	if spoolDir != "" {
 		pace := newPacer(*throttle)
-		stats, err := spool.ReplayWindow(spoolDir, spool.ReplayOptions{Workers: *replayWorkers}, func(d ingest.Datagram) error {
+		stats, err := spool.ReplayWindow(spoolDir, spool.ReplayOptions{Workers: *replayWorkers, Metrics: obs.Default()}, func(d ingest.Datagram) error {
 			fedCount.Add(1)
 			in.IngestDatagram(d) // decode drops are counted in Stats
 			pace.tick()
@@ -194,6 +225,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	stopProgress()
 	elapsed := time.Since(feedStart)
 	fmt.Printf("ingested %d packets in %v (%.0f packets/sec); %d flows, %d attacks, %d scans\n",
 		fed, elapsed.Round(time.Millisecond), float64(res.Stats.Packets)/elapsed.Seconds(),
@@ -281,6 +313,17 @@ func (p *pacer) tick() {
 	if ahead > time.Millisecond {
 		time.Sleep(ahead)
 	}
+}
+
+// startProgress starts a stderr progress logger when -progress is set and
+// returns its stop function; a zero interval returns a no-op.
+func startProgress(every time.Duration, snapshot func() []obs.Field) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	p := obs.NewProgress(os.Stderr, every, snapshot)
+	p.Start()
+	return p.Stop
 }
 
 // generate builds the synthetic market-driven packet stream.

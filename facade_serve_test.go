@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,6 +30,42 @@ func serveGet(t *testing.T, addr, path string) (map[string]any, int) {
 		t.Fatalf("%s: invalid JSON %q: %v", path, body, err)
 	}
 	return out, resp.StatusCode
+}
+
+// serveGetText fetches one endpoint and returns the raw body — for the
+// Prometheus text exposition, which is deliberately not JSON.
+func serveGetText(t *testing.T, addr, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s: code %d", path, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// promValue extracts the sample value of one series (exact name{labels}
+// match) from a Prometheus text exposition.
+func promValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s missing from exposition", series)
+	return 0
 }
 
 // TestServeLiveDuringReplay is the serving layer's end-to-end acceptance
@@ -140,17 +178,11 @@ func TestServeLiveDuringReplay(t *testing.T) {
 		t.Fatalf("served final total %v != result total %v", total, res.Global.Total())
 	}
 
-	// Metrics saw every query.
-	metrics, _ := serveGet(t, srv.Addr(), "/v1/metrics")
-	var statusHits float64
-	for _, e := range metrics["endpoints"].([]any) {
-		m := e.(map[string]any)
-		if m["path"] == "/v1/status" {
-			statusHits = m["hits"].(float64)
-		}
-	}
-	if statusHits < 2 {
-		t.Fatalf("metrics lost hits: %v", metrics)
+	// Metrics saw every query: /v1/status was hit at least twice above.
+	metrics := serveGetText(t, srv.Addr(), "/v1/metrics")
+	hits := promValue(t, metrics, `booters_http_requests_total{path="/v1/status"}`)
+	if hits < 2 {
+		t.Fatalf("metrics lost hits: status requests = %v", hits)
 	}
 }
 
@@ -224,9 +256,9 @@ func TestServeModelOverHTTP(t *testing.T) {
 	if _, code := serveGet(t, srv.Addr(), "/v1/model"); code != 200 {
 		t.Fatal("repeat model query failed")
 	}
-	metrics, _ := serveGet(t, srv.Addr(), "/v1/metrics")
-	mc := metrics["model_cache"].(map[string]any)
-	if mc["hits"].(float64) < 1 || mc["misses"].(float64) < 1 {
-		t.Fatalf("model cache counters: %v", mc)
+	metrics := serveGetText(t, srv.Addr(), "/v1/metrics")
+	if promValue(t, metrics, "booters_model_cache_hits_total") < 1 ||
+		promValue(t, metrics, "booters_model_cache_misses_total") < 1 {
+		t.Fatal("model cache counters missing from exposition")
 	}
 }

@@ -90,6 +90,10 @@ func ServeSpool(in *ingest.Ingestor, addr, spoolDir string) (*serve.Server, erro
 		Ingest:        in,
 		Interventions: Table1Interventions(),
 		SpoolDir:      spoolDir,
+		// Fold the server's HTTP/model-cache families into the pipeline's
+		// registry (when the ingestor carries one), so one /v1/metrics
+		// scrape covers ingest, spool and serving together.
+		Obs: in.Metrics(),
 	})
 	// Bind before subscribing: a failed Start must not leave a dead
 	// server permanently subscribed to the pipeline's snapshot feed.

@@ -341,3 +341,10 @@ func (a *Aggregator) Completed() []*Flow {
 
 // OpenFlows returns the number of currently open flows.
 func (a *Aggregator) OpenFlows() int { return len(a.open) }
+
+// ExpiryHeapDepth returns the number of expiry hints currently queued —
+// at least OpenFlows, since a flow closed by its key's next packet leaves
+// its entry behind until it surfaces, so the gap between the two measures
+// dead-hint backlog. Exposed for the observability layer's per-shard
+// gauges.
+func (a *Aggregator) ExpiryHeapDepth() int { return len(a.exp) }

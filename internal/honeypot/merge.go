@@ -191,3 +191,9 @@ func (a *MergeAggregator) Completed() []*Flow {
 
 // OpenFlows returns the number of currently open intervals.
 func (a *MergeAggregator) OpenFlows() int { return a.openCount }
+
+// ExpiryHeapDepth returns 0: the interval-merge table expires by scanning
+// per-key interval lists and keeps no expiry heap. It exists so both
+// aggregators satisfy the pipeline's flowTable surface and the per-shard
+// heap gauge reads 0 rather than lying under Config.Unordered.
+func (a *MergeAggregator) ExpiryHeapDepth() int { return 0 }

@@ -42,6 +42,7 @@ import (
 
 	"booters/internal/geo"
 	"booters/internal/honeypot"
+	"booters/internal/obs"
 	"booters/internal/protocols"
 	"booters/internal/timeseries"
 )
@@ -166,6 +167,12 @@ type Config struct {
 	// Sinks are additional consumers of closed flows, fanned out alongside
 	// the built-in weekly-panel sink. Each must be a fresh instance.
 	Sinks []Sink
+	// Metrics, when non-nil, registers the pipeline's instrument families
+	// (see docs/METRICS.md) on the given registry and keeps them live.
+	// nil disables instrumentation entirely; when enabled, the per-packet
+	// cost is one uncontended atomic add into the shard's own counter
+	// cell (see internal/obs and metrics.go).
+	Metrics *obs.Registry
 
 	// testBeforeEnvelope, when set by tests, runs on a shard worker before
 	// each envelope is processed — the hook slow-consumer tests use to park
@@ -214,6 +221,7 @@ type Ingestor struct {
 	panel  *PanelSink
 	sinks  *sinkSet
 	roll   *roller
+	m      *pipelineMetrics
 	latest atomic.Pointer[Snapshot]
 	wg     sync.WaitGroup
 	bufs   bufPool
@@ -239,6 +247,8 @@ type flowTable interface {
 	Advance(time.Time)
 	Completed() []*honeypot.Flow
 	Flush() []*honeypot.Flow
+	OpenFlows() int
+	ExpiryHeapDepth() int
 }
 
 // envelope is one shard-channel message: either a packet batch or a
@@ -265,7 +275,10 @@ type shard struct {
 	agg      flowTable
 	branches []SinkBranch
 	sinkErr  error
-	late     uint64
+	// late counts packets the flow table rejected as behind the horizon.
+	// Written only by the shard worker, but atomic so /v1/status and the
+	// progress logger can read it live (see Ingestor.Late).
+	late atomic.Uint64
 
 	// Rolling-emission state, touched only by the shard's worker: the
 	// shard's own panel accumulator (for boundary clones) and the last
@@ -303,6 +316,9 @@ func New(cfg Config) (*Ingestor, error) {
 		}
 		in.shards = append(in.shards, s)
 	}
+	if cfg.Metrics != nil {
+		in.m = newPipelineMetrics(in, cfg.Metrics)
+	}
 	if cfg.Rolling {
 		in.roll = newRoller(in, cfg.Shards)
 	}
@@ -329,6 +345,9 @@ func (in *Ingestor) run(s *shard) {
 		}
 		if len(flows) > 0 {
 			in.flowsClosed.Add(int64(len(flows)))
+			if in.m != nil {
+				in.m.flows.Add(s.index, uint64(len(flows)))
+			}
 		}
 	}
 	for env := range s.ch {
@@ -338,6 +357,9 @@ func (in *Ingestor) run(s *shard) {
 		if !env.mark.IsZero() {
 			s.agg.Advance(env.mark)
 			drain(s.agg.Completed())
+			if in.m != nil {
+				in.m.tableGauges(s)
+			}
 			if in.roll != nil {
 				in.roll.maybeSeal(s, env.mark)
 			}
@@ -345,10 +367,16 @@ func (in *Ingestor) run(s *shard) {
 		}
 		for _, p := range env.batch {
 			if err := s.agg.Offer(p); err != nil {
-				s.late++
+				s.late.Add(1)
+				if in.m != nil {
+					in.m.late.Inc()
+				}
 			}
 		}
 		drain(s.agg.Completed())
+		// Flow-table gauges refresh on the mark path above, not here:
+		// watermark cadence is fresh enough for scrape-time sampling and
+		// keeps the batch path free of producer/worker line sharing.
 		in.bufs.put(env.batch)
 	}
 	drain(s.agg.Flush())
@@ -366,10 +394,16 @@ func (in *Ingestor) IngestDatagram(d Datagram) error {
 	proto, ok := protocols.ByPort(d.Port)
 	if !ok {
 		in.unknown.Add(1)
+		if in.m != nil {
+			in.m.decodeError("unknown_port", d.Sensor)
+		}
 		return fmt.Errorf("ingest: no amplification protocol on port %d", d.Port)
 	}
 	if err := proto.ValidateRequest(d.Payload); err != nil {
 		in.malformed.Add(1)
+		if in.m != nil {
+			in.m.decodeError("malformed", d.Sensor)
+		}
 		return fmt.Errorf("ingest: %v request: %w", proto, err)
 	}
 	return in.Ingest(honeypot.Packet{
@@ -388,7 +422,8 @@ func (in *Ingestor) Ingest(p honeypot.Packet) error {
 		return ErrClosed
 	}
 	in.observe(p.Time)
-	s := in.shards[shardFor(p.Victim, len(in.shards))]
+	idx := shardFor(p.Victim, len(in.shards))
+	s := in.shards[idx]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -552,6 +587,20 @@ func (in *Ingestor) flushLocked(s *shard) {
 // overload policy. It runs with s.mu held, so per-shard sends (and the
 // shed ledger) are serialised; the worker drains concurrently.
 func (in *Ingestor) send(s *shard, env envelope) {
+	if in.m != nil {
+		// The per-packet metrics cost, amortised: one add into this
+		// shard's own counter cell per flushed batch (send runs with
+		// s.mu held, so the cell is uncontended). The counter lags the
+		// internal ledger by at most one partial batch per shard while
+		// producers run and is exact after Close; packets counted here
+		// may still be shed — the shed counter books those separately.
+		if n := len(env.batch); n > 0 {
+			in.m.packets.Add(s.index, uint64(n))
+		}
+		// High-water occupancy as producers see it at enqueue time (the
+		// worker may drain concurrently, so this is a lower bound on peaks).
+		in.m.queueHigh[s.index].SetMax(int64(len(s.ch) + 1))
+	}
 	switch in.cfg.Shed {
 	case ShedBlock:
 		s.ch <- env
@@ -599,10 +648,17 @@ func (in *Ingestor) drop(s *shard, env envelope) {
 	if s.shedBySensor == nil {
 		s.shedBySensor = make(map[int]uint64)
 	}
+	tally := make(map[int]uint64)
 	for _, p := range env.batch {
 		s.shedBySensor[p.Sensor]++
+		tally[p.Sensor]++
 	}
 	s.shed += uint64(len(env.batch))
+	if in.m != nil {
+		for sensor, n := range tally {
+			in.m.shedPackets(in.cfg.Shed, sensor, n)
+		}
+	}
 	in.bufs.put(env.batch)
 }
 
@@ -631,7 +687,7 @@ func (in *Ingestor) Close() (*Result, error) {
 	var shedBySensor map[int]uint64
 	var sinkErr error
 	for _, s := range in.shards {
-		late += s.late
+		late += s.late.Load()
 		shed += s.shed
 		for sensor, n := range s.shedBySensor {
 			if shedBySensor == nil {

@@ -1,11 +1,13 @@
 package ingest
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"booters/internal/honeypot"
+	"booters/internal/obs"
 )
 
 // TestConcurrentIngest drives the pipeline from many producer goroutines at
@@ -89,4 +91,73 @@ func TestConcurrentIngestWithConcurrentClose(t *testing.T) {
 	}
 	wg.Wait()
 	_ = honeypot.FlowGap
+}
+
+// TestConcurrentScrapeDuringIngest races Prometheus scrapes against a hot
+// multi-producer pipeline: a scraper goroutine renders the full exposition
+// in a loop — exercising every GaugeFunc (queue depth, watermarks, flow
+// tables) against the workers mutating under them — while 8 producers
+// ingest. Run under -race this is the observability satellite's safety
+// test; functionally it checks the settled exposition accounts for every
+// packet.
+func TestConcurrentScrapeDuringIngest(t *testing.T) {
+	packets := testStream(t, 2, 150)
+	const producers = 8
+	cfg := testConfig(4, 2, false)
+	cfg.BatchSize = 16
+	cfg.WatermarkEvery = 64
+	cfg.Metrics = obs.NewRegistry()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		var buf []byte
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf = in.Metrics().AppendText(buf[:0])
+			if !strings.Contains(string(buf), "booters_ingest_packets_total") {
+				t.Error("mid-ingest scrape missing the packets family")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(packets); i += producers {
+				if err := in.Ingest(packets[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	res, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-scraperDone
+	// Every packet accepted by Ingest is on the merged counter, and the
+	// live Late() reading settled to the pipeline's own accounting.
+	if got, _ := in.Metrics().Sum("booters_ingest_packets_total"); got != float64(len(packets)) {
+		t.Errorf("scraped packets total: got %v want %d", got, len(packets))
+	}
+	if in.Late() != res.Stats.Late {
+		t.Errorf("live Late() %d != settled Stats.Late %d", in.Late(), res.Stats.Late)
+	}
+	if got, _ := in.Metrics().Sum("booters_ingest_flows_closed_total"); got != float64(res.Stats.Flows) {
+		t.Errorf("scraped flows total: got %v want %d", got, res.Stats.Flows)
+	}
 }

@@ -71,17 +71,20 @@ type Snapshot struct {
 	// CountryProtocol is the Figure 6 country-by-protocol breakdown.
 	CountryProtocol map[string]map[protocols.Protocol]*timeseries.Series
 	// Stats carries the pipeline counters as of the merge. Until Final,
-	// Packets/UnknownPort/Malformed are live readings and Late, Shed and
+	// Packets/UnknownPort/Malformed/Late are live readings and Shed and
 	// ShedBySensor are zero (their ledgers are only settled at Close).
 	Stats Stats
 }
 
 // rollPartial is one shard's sealed contribution: a deep clone of its
 // panel accumulator, made by the shard worker, owned by the collector.
+// sealedAt is the wall-clock instant the worker took the clone, the start
+// of the seal-to-publish latency the metrics histogram tracks.
 type rollPartial struct {
-	shard   int
-	through timeseries.Week
-	acc     *accumulator
+	shard    int
+	through  timeseries.Week
+	acc      *accumulator
+	sealedAt time.Time
 }
 
 // roller owns rolling emission for one pipeline: the partial channel, the
@@ -143,7 +146,7 @@ func (r *roller) maybeSeal(s *shard, mark time.Time) {
 		return // this boundary is already sealed
 	}
 	s.rollSealed, s.rollThrough = true, through
-	r.ch <- rollPartial{shard: s.index, through: through, acc: s.acc.clone()}
+	r.ch <- rollPartial{shard: s.index, through: through, acc: s.acc.clone(), sealedAt: time.Now()}
 }
 
 // collect is the collector goroutine: fold incoming partials and publish
@@ -163,6 +166,9 @@ func (r *roller) collect() {
 		}
 		r.pubAny, r.pubBase = true, frontier
 		r.publish(r.merge(r.partials, frontier, true))
+		if r.in.m != nil {
+			r.in.m.sealLatency.Observe(time.Since(p.sealedAt))
+		}
 	}
 }
 
@@ -248,6 +254,7 @@ func (r *roller) merge(accs []*accumulator, through timeseries.Week, sealedYet b
 	snap.Stats.Packets = r.in.packets.Load()
 	snap.Stats.UnknownPort = r.in.unknown.Load()
 	snap.Stats.Malformed = r.in.malformed.Load()
+	snap.Stats.Late = r.in.Late()
 	return snap
 }
 
@@ -259,6 +266,9 @@ func (r *roller) publish(snap *Snapshot) {
 	r.seq++
 	snap.Seq = r.seq
 	r.in.latest.Store(snap)
+	if r.in.m != nil {
+		r.in.m.snapshots.Inc()
+	}
 	r.subMu.Lock()
 	subs := make([]func(*Snapshot), len(r.subs))
 	copy(subs, r.subs)

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: fixed log2 buckets over nanoseconds. Bucket i
+// (0 ≤ i < histBuckets-1) counts observations ≤ 2^(histMinExp+i) ns; the
+// last bucket is +Inf. With histMinExp = 8 the first bucket is ≤ 256ns
+// and the last finite bound is 2^38 ns ≈ 4.6 minutes — one cache line's
+// worth of resolution below a microsecond and nothing a serving endpoint
+// can exceed without being an outage. Fixed power-of-two bounds keep
+// Observe branch-free (one bits.Len64 and one atomic add) and make every
+// Histogram in the process mergeable bucket-for-bucket.
+const (
+	histMinExp  = 8
+	histBuckets = 32
+)
+
+// Histogram is a fixed-bucket log-scale latency histogram. Observe is one
+// bucket index computation plus two uncontended atomic adds; rendering and
+// Quantile read the buckets with atomic loads, so scrapes never block
+// observers. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Int64 // total observed nanoseconds
+}
+
+// bucketIndex maps a nanosecond value to its bucket: the smallest i with
+// v ≤ 2^(histMinExp+i), clamped to the +Inf bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<histMinExp {
+		return 0
+	}
+	// bits.Len64(v-1) is ceil(log2(v)) for v > 1.
+	i := bits.Len64(uint64(ns-1)) - histMinExp
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBound returns bucket i's upper bound in nanoseconds
+// (math.MaxInt64 for the +Inf bucket).
+func bucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return 1 << (histMinExp + i)
+}
+
+// Observe records one duration. Negative durations count into the first
+// bucket (they only arise from clock steps; losing them would understate
+// the count).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the total number of observations (summed across buckets;
+// not a consistent cut under concurrent Observe, but monotone).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank: the standard
+// histogram_quantile estimate. Returns 0 when the histogram is empty.
+// Observations in the +Inf bucket report the last finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= histBuckets-1 {
+				return time.Duration(bucketBound(histBuckets - 2))
+			}
+			upper := float64(bucketBound(i))
+			lower := 0.0
+			if i > 0 {
+				lower = float64(bucketBound(i - 1))
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return time.Duration(lower + (upper-lower)*frac)
+		}
+		cum += c
+	}
+	return time.Duration(bucketBound(histBuckets - 2))
+}
+
+// appendSamples renders the cumulative _bucket series plus _sum and
+// _count, with the le label spliced into any existing labels.
+func (h *Histogram) appendSamples(dst []byte, name, labels string) []byte {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		dst = append(dst, name...)
+		dst = append(dst, "_bucket"...)
+		le := "+Inf"
+		if i < histBuckets-1 {
+			le = formatSeconds(bucketBound(i))
+		}
+		dst = appendWithLabel(dst, labels, "le", le)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, cum, 10)
+		dst = append(dst, '\n')
+	}
+	dst = append(dst, name...)
+	dst = append(dst, "_sum"...)
+	dst = append(dst, labels...)
+	dst = append(dst, ' ')
+	dst = appendFloat(dst, float64(h.sum.Load())/1e9)
+	dst = append(dst, '\n')
+	dst = append(dst, name...)
+	dst = append(dst, "_count"...)
+	dst = append(dst, labels...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, total, 10)
+	return append(dst, '\n')
+}
+
+func (h *Histogram) total() float64 { return float64(h.Count()) }
+
+// formatSeconds renders a nanosecond bound as seconds for the le label.
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// appendWithLabel splices one extra label pair into a pre-rendered label
+// string ("" or "{…}").
+func appendWithLabel(dst []byte, labels, name, value string) []byte {
+	dst = append(dst, '{')
+	if len(labels) > 2 { // strip existing {...} and keep the pairs
+		dst = append(dst, labels[1:len(labels)-1]...)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, name...)
+	dst = append(dst, `="`...)
+	dst = append(dst, escapeLabel(value)...)
+	dst = append(dst, `"}`...)
+	return dst
+}

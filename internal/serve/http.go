@@ -5,8 +5,11 @@ package serve
 // are numbers and short ASCII names, so keeping encoding/json's reflection
 // off the path makes a query cost little more than the atomic snapshot
 // load it starts with. Every endpoint is wrapped in a per-endpoint
-// accounting layer (hits, errors, total and max latency) served back by
-// /v1/metrics.
+// accounting layer — a request counter, an error counter and a full
+// log-scale latency histogram (p50/p95/p99 derivable, not just avg/max) —
+// and /v1/metrics renders the whole registry in Prometheus text format,
+// so one scrape covers the HTTP layer together with whatever pipeline and
+// spool metrics share the registry.
 
 import (
 	"errors"
@@ -15,13 +18,16 @@ import (
 	"net"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"booters/internal/ingest"
 	"booters/internal/its"
+	"booters/internal/obs"
 	"booters/internal/timeseries"
 )
+
+// metricsContentType is the Prometheus text exposition content type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // Server wires an Engine to an HTTP listener: six JSON query endpoints
 // plus a metrics endpoint, all GET, all safe under unbounded concurrency.
@@ -33,13 +39,13 @@ type Server struct {
 	routes []*route
 }
 
-// route is one endpoint's handler and accounting.
+// route is one endpoint's accounting: request/error counters and the
+// latency histogram, all registered per path on the server's registry.
 type route struct {
-	path    string
-	hits    atomic.Uint64
-	errs    atomic.Uint64
-	totalNS atomic.Int64
-	maxNS   atomic.Int64
+	path string
+	hits *obs.Counter
+	errs *obs.Counter
+	lat  *obs.Histogram
 }
 
 // New builds a server (and its engine) from cfg; call Start to listen or
@@ -52,9 +58,12 @@ func New(cfg Config) *Server {
 	s.handle("/v1/top", s.handleTop)
 	s.handle("/v1/model", s.handleModel)
 	s.handle("/v1/spool", s.handleSpool)
-	s.handle("/v1/metrics", s.handleMetrics)
+	s.handleWith("/v1/metrics", metricsContentType, s.handleMetrics)
 	return s
 }
+
+// Metrics returns the registry /v1/metrics renders (the engine's).
+func (s *Server) Metrics() *obs.Registry { return s.eng.reg }
 
 // Engine returns the server's query engine (shared with the HTTP
 // handlers; direct calls skip HTTP but hit the same store and memo).
@@ -110,16 +119,32 @@ func (e *httpError) Error() string { return e.msg }
 // or returns an error (an *httpError for a specific status).
 type handlerFunc func(dst []byte, r *http.Request) ([]byte, error)
 
-// handle registers fn at path with accounting.
+// handle registers fn at path as a JSON endpoint with accounting.
 func (s *Server) handle(path string, fn handlerFunc) {
-	rt := &route{path: path}
+	s.handleWith(path, "application/json", fn)
+}
+
+// handleWith registers fn at path with accounting and the given success
+// content type (errors are always JSON).
+func (s *Server) handleWith(path, ctype string, fn handlerFunc) {
+	reg := s.eng.reg
+	label := obs.L("path", path)
+	rt := &route{
+		path: path,
+		hits: reg.Counter("booters_http_requests_total",
+			"HTTP requests served, by path.", label),
+		errs: reg.Counter("booters_http_errors_total",
+			"HTTP requests answered with an error status, by path.", label),
+		lat: reg.Histogram("booters_http_request_seconds",
+			"HTTP request latency, by path.", label),
+	}
 	s.routes = append(s.routes, rt)
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rt.hits.Add(1)
+		rt.hits.Inc()
 		body, err := fn(nil, r)
 		if err != nil {
-			rt.errs.Add(1)
+			rt.errs.Inc()
 			code := http.StatusBadRequest
 			var he *httpError
 			if errors.As(err, &he) {
@@ -134,17 +159,10 @@ func (s *Server) handle(path string, fn handlerFunc) {
 			body = append(body, "}\n"...)
 			w.Write(body)
 		} else {
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", ctype)
 			w.Write(body)
 		}
-		ns := time.Since(start).Nanoseconds()
-		rt.totalNS.Add(ns)
-		for {
-			old := rt.maxNS.Load()
-			if ns <= old || rt.maxNS.CompareAndSwap(old, ns) {
-				break
-			}
-		}
+		rt.lat.Observe(time.Since(start))
 	})
 }
 
@@ -174,6 +192,12 @@ func (s *Server) handleStatus(dst []byte, _ *http.Request) ([]byte, error) {
 	dst = strconv.AppendUint(dst, st.LivePackets, 10)
 	dst = append(dst, `,"live_flows":`...)
 	dst = strconv.AppendInt(dst, st.LiveFlows, 10)
+	dst = append(dst, `,"live_late":`...)
+	dst = strconv.AppendUint(dst, st.LiveLate, 10)
+	dst = append(dst, `,"replay_torn":`...)
+	dst = strconv.AppendUint(dst, st.ReplayTorn, 10)
+	dst = append(dst, `,"replay_unindexed":`...)
+	dst = strconv.AppendUint(dst, st.ReplayUnindexed, 10)
 	dst = append(dst, "}\n"...)
 	return dst, nil
 }
@@ -402,38 +426,26 @@ func (s *Server) handleSpool(dst []byte, _ *http.Request) ([]byte, error) {
 	return dst, nil
 }
 
-// handleMetrics reports per-endpoint accounting plus the model memo's
-// hit/miss counters.
+// handleMetrics renders the server's whole metrics registry in Prometheus
+// text exposition format: the per-endpoint request counters and latency
+// histograms registered by handleWith, the engine's model-cache and store
+// gauges, and — when the server shares the process registry — every
+// pipeline and spool family too. Scrape-safe under hot ingest: rendering
+// is atomic loads only (see internal/obs).
 func (s *Server) handleMetrics(dst []byte, _ *http.Request) ([]byte, error) {
-	dst = append(dst, `{"endpoints":[`...)
-	for i, rt := range s.routes {
-		if i > 0 {
-			dst = append(dst, ',')
+	return s.eng.reg.AppendText(dst), nil
+}
+
+// RouteQuantile returns the q-quantile of a routed path's request latency
+// histogram (0 when the path is unknown or unhit) — the p50/p95/p99
+// accessor direct (non-scrape) consumers and tests use.
+func (s *Server) RouteQuantile(path string, q float64) time.Duration {
+	for _, rt := range s.routes {
+		if rt.path == path {
+			return rt.lat.Quantile(q)
 		}
-		hits := rt.hits.Load()
-		dst = append(dst, `{"path":`...)
-		dst = appendJSONString(dst, rt.path)
-		dst = append(dst, `,"hits":`...)
-		dst = strconv.AppendUint(dst, hits, 10)
-		dst = append(dst, `,"errors":`...)
-		dst = strconv.AppendUint(dst, rt.errs.Load(), 10)
-		dst = append(dst, `,"avg_ns":`...)
-		var avg int64
-		if hits > 0 {
-			avg = rt.totalNS.Load() / int64(hits)
-		}
-		dst = strconv.AppendInt(dst, avg, 10)
-		dst = append(dst, `,"max_ns":`...)
-		dst = strconv.AppendInt(dst, rt.maxNS.Load(), 10)
-		dst = append(dst, '}')
 	}
-	hits, misses := s.eng.ModelCacheStats()
-	dst = append(dst, `],"model_cache":{"hits":`...)
-	dst = strconv.AppendUint(dst, hits, 10)
-	dst = append(dst, `,"misses":`...)
-	dst = strconv.AppendUint(dst, misses, 10)
-	dst = append(dst, "}}\n"...)
-	return dst, nil
+	return 0
 }
 
 // appendSeries encodes a weekly series as {"start":…,"values":[…]}.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -37,6 +38,25 @@ func getJSON(t *testing.T, url string) (map[string]any, int) {
 		t.Errorf("%s: content type %q", url, ct)
 	}
 	return out, resp.StatusCode
+}
+
+// getText fetches url and returns the raw body, checking the response is
+// Prometheus text exposition.
+func getText(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("%s: content type %q", url, ct)
+	}
+	return string(body), resp.StatusCode
 }
 
 // servedHTTP runs a full rolling ingest wired into a Server mounted on an
@@ -89,7 +109,7 @@ func servedHTTP(t *testing.T, weeks int, attacksPerWeek float64, withSpool bool)
 // TestHTTPEndpoints drives every endpoint once against a completed run
 // and checks the JSON answers against the pipeline's Result.
 func TestHTTPEndpoints(t *testing.T) {
-	_, hts, res := servedHTTP(t, 4, 50, true)
+	srv, hts, res := servedHTTP(t, 4, 50, true)
 
 	status, code := getJSON(t, hts.URL+"/v1/status")
 	if code != 200 || status["final"] != true {
@@ -150,24 +170,28 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Errorf("bad from: code %d want 400", code)
 	}
 
-	metrics, code := getJSON(t, hts.URL+"/v1/metrics")
+	text, code := getText(t, hts.URL+"/v1/metrics")
 	if code != 200 {
 		t.Fatalf("metrics code %d", code)
 	}
-	eps := metrics["endpoints"].([]any)
-	byPath := map[string]map[string]any{}
-	for _, e := range eps {
-		m := e.(map[string]any)
-		byPath[m["path"].(string)] = m
+	// Every /v1/top request above — the hit and the two rejected ones —
+	// must be on the books, split into requests and errors.
+	for _, line := range []string{
+		`booters_http_requests_total{path="/v1/top"} 3`,
+		`booters_http_errors_total{path="/v1/top"} 2`,
+		`booters_http_request_seconds_count{path="/v1/panel"} 1`,
+		`booters_model_cache_misses_total 1`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("metrics: missing %q", line)
+		}
 	}
-	if hits := byPath["/v1/top"]["hits"].(float64); hits != 3 {
-		t.Errorf("/v1/top hits: got %v want 3", hits)
-	}
-	if errs := byPath["/v1/top"]["errors"].(float64); errs != 2 {
-		t.Errorf("/v1/top errors: got %v want 2", errs)
-	}
-	if byPath["/v1/panel"]["avg_ns"].(float64) <= 0 {
+	// The panel latency histogram must have banked a real observation.
+	if !strings.Contains(text, `booters_http_request_seconds_sum{path="/v1/panel"}`) {
 		t.Error("panel latency accounting missing")
+	}
+	if q := srv.RouteQuantile("/v1/panel", 0.5); q <= 0 {
+		t.Errorf("panel p50: got %v want > 0", q)
 	}
 }
 
@@ -268,7 +292,7 @@ func TestQueryDuringIngest(t *testing.T) {
 					return
 				default:
 				}
-				for _, path := range []string{"/v1/status", "/v1/panel", "/v1/top?by=protocol"} {
+				for _, path := range []string{"/v1/status", "/v1/panel", "/v1/top?by=protocol", "/v1/metrics"} {
 					resp, err := client.Get(hts.URL + path)
 					if err != nil {
 						fatal(err)

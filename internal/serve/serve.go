@@ -26,6 +26,7 @@ import (
 
 	"booters/internal/ingest"
 	"booters/internal/its"
+	"booters/internal/obs"
 	"booters/internal/protocols"
 	"booters/internal/spool"
 	"booters/internal/timeseries"
@@ -86,6 +87,13 @@ type Config struct {
 	// SpoolDir, when set, lets SpoolInfo report the capture store's
 	// segment index alongside the live panel.
 	SpoolDir string
+	// Obs is the metrics registry the engine and server instrument
+	// themselves on and that /v1/metrics renders. nil builds a fresh
+	// private registry (each Server isolated — what tests want); pass
+	// the process registry (obs.Default()) to fold the serving metrics
+	// into the same scrape as the pipeline and spool, which also lets
+	// Status surface live replay corruption counters.
+	Obs *obs.Registry
 }
 
 // Engine answers analytics queries against the store's current snapshot.
@@ -94,6 +102,7 @@ type Config struct {
 type Engine struct {
 	cfg   Config
 	store Store
+	reg   *obs.Registry
 
 	models modelCache
 }
@@ -104,8 +113,31 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.SearchRadius <= 0 {
 		cfg.SearchRadius = 3
 	}
-	return &Engine{cfg: cfg, models: modelCache{entries: make(map[modelKey]*modelEntry)}}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	e := &Engine{cfg: cfg, reg: cfg.Obs, models: modelCache{entries: make(map[modelKey]*modelEntry)}}
+	e.models.hitsC = e.reg.Counter("booters_model_cache_hits_total",
+		"Model fits served from the per-snapshot memo.")
+	e.models.missesC = e.reg.Counter("booters_model_cache_misses_total",
+		"Model fits computed fresh (memo miss or pre-swap snapshot).")
+	e.reg.GaugeFunc("booters_store_swaps",
+		"Snapshots published into the serving store since start.",
+		func() float64 { return float64(e.store.Swaps()) })
+	e.reg.GaugeFunc("booters_snapshot_seq",
+		"Sequence number of the snapshot currently being served (0 before the first).",
+		func() float64 {
+			if snap := e.store.Load(); snap != nil {
+				return float64(snap.Seq)
+			}
+			return 0
+		})
+	return e
 }
+
+// Metrics returns the registry the engine instruments itself on (the one
+// /v1/metrics renders when the engine backs a Server).
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Publish swaps a new snapshot into the store (stale sequence numbers are
 // ignored). It is the engine's only write entry point.
@@ -141,6 +173,18 @@ type Status struct {
 	LivePackets uint64
 	// LiveFlows is the attached pipeline's closed-flow counter.
 	LiveFlows int64
+	// LiveLate is the attached pipeline's late-rejection counter, read
+	// live at query time (a federated collector must see drops as they
+	// happen, not in the end-of-run Stats).
+	LiveLate uint64
+	// ReplayTorn counts spool segments that lost records to corruption
+	// in the replay feeding this process, read live from the configured
+	// metrics registry (zero when Config.Obs is not the registry the
+	// replay reports to).
+	ReplayTorn uint64
+	// ReplayUnindexed counts unindexed segments the replay scanned in
+	// full, read the same way.
+	ReplayUnindexed uint64
 }
 
 // Status reports the serving state; it never fails, returning a zero
@@ -161,6 +205,13 @@ func (e *Engine) Status() Status {
 	if in := e.cfg.Ingest; in != nil {
 		out.LivePackets = in.Packets()
 		out.LiveFlows = in.FlowsClosed()
+		out.LiveLate = in.Late()
+	}
+	if torn, ok := e.reg.Sum("booters_spool_replay_torn_total"); ok {
+		out.ReplayTorn = uint64(torn)
+	}
+	if un, ok := e.reg.Sum("booters_spool_replay_unindexed_total"); ok {
+		out.ReplayUnindexed = uint64(un)
 	}
 	return out
 }
@@ -288,6 +339,21 @@ type modelCache struct {
 	entries map[modelKey]*modelEntry
 
 	hits, misses atomic.Uint64
+	// hitsC and missesC mirror the atomics onto the metrics registry
+	// (counter families, set by NewEngine).
+	hitsC, missesC *obs.Counter
+}
+
+// hit books one memo hit on both ledgers.
+func (c *modelCache) hit() {
+	c.hits.Add(1)
+	c.hitsC.Inc()
+}
+
+// miss books one fresh fit on both ledgers.
+func (c *modelCache) miss() {
+	c.misses.Add(1)
+	c.missesC.Inc()
 }
 
 // ModelCacheStats reports the memo's hit/miss counters since start.
@@ -314,7 +380,7 @@ func (e *Engine) Model(from, to time.Time) (*its.Model, error) {
 		// A reader still holding a pre-swap snapshot: fit it uncached
 		// rather than wiping the newer snapshot's memo.
 		c.mu.Unlock()
-		c.misses.Add(1)
+		c.miss()
 		return e.fit(snap, from, to)
 	}
 	if snap.Seq > c.seq {
@@ -323,14 +389,14 @@ func (e *Engine) Model(from, to time.Time) (*its.Model, error) {
 	}
 	if ent, ok := c.entries[key]; ok {
 		c.mu.Unlock()
-		c.hits.Add(1)
+		c.hit()
 		<-ent.done
 		return ent.model, ent.err
 	}
 	ent := &modelEntry{done: make(chan struct{})}
 	c.entries[key] = ent
 	c.mu.Unlock()
-	c.misses.Add(1)
+	c.miss()
 	ent.model, ent.err = e.fit(snap, from, to)
 	close(ent.done)
 	return ent.model, ent.err

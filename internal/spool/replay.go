@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"booters/internal/ingest"
+	"booters/internal/obs"
 )
 
 // ReplayOptions tunes ReplayWindow.
@@ -51,6 +52,14 @@ type ReplayOptions struct {
 	// no cross-reader watermark to report. An unindexed segment (no
 	// trusted trailer) holds the watermark back until it finishes.
 	OnWatermark func(time.Time)
+	// Metrics, when non-nil, registers the replay counters (records
+	// delivered, window-filtered, segments read/skipped, torn and
+	// unindexed segments — see docs/METRICS.md) on the given registry and
+	// keeps them live during the replay: corruption is booked the moment
+	// a tear is detected, not at end of run. Record deliveries go into
+	// per-reader counter cells merged only at scrape, so unordered
+	// workers never contend. nil disables instrumentation.
+	Metrics *obs.Registry
 
 	// testClaimOrder, set only by tests, overrides the order unordered
 	// workers claim segments in: a permutation of the scanned segment
@@ -124,6 +133,10 @@ func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error
 		return stats, fmt.Errorf("spool: no segments in %s", dir)
 	}
 	stats.Warnings = append(stats.Warnings, idx.Warnings...)
+	var m *replayMetrics
+	if opts.Metrics != nil {
+		m = newReplayMetrics(opts.Metrics, opts.Workers)
+	}
 
 	from, to := int64(math.MinInt64), int64(math.MaxInt64)
 	if !opts.From.IsZero() {
@@ -140,10 +153,16 @@ func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error
 		info := &idx.Segments[i]
 		if !info.overlaps(from, to) {
 			stats.SegmentsSkipped++
+			if m != nil {
+				m.segsSkip.Inc()
+			}
 			continue
 		}
 		if !info.Indexed {
 			unindexed++
+			if m != nil {
+				m.unindexed.Inc()
+			}
 		}
 		scan = append(scan, info)
 	}
@@ -158,12 +177,12 @@ func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error
 		return stats, nil
 	}
 	if opts.Unordered {
-		return stats, replayUnordered(dir, scan, from, to, opts, stats, fn)
+		return stats, replayUnordered(dir, scan, from, to, opts, stats, m, fn)
 	}
 	if opts.Workers <= 1 {
-		return stats, replaySequential(dir, scan, from, to, opts.Strict, stats, fn)
+		return stats, replaySequential(dir, scan, from, to, opts.Strict, stats, m, fn)
 	}
-	return stats, replayParallel(dir, scan, from, to, opts, stats, fn)
+	return stats, replayParallel(dir, scan, from, to, opts, stats, m, fn)
 }
 
 // scanSegment streams one segment's in-window records through yield. It
@@ -196,10 +215,19 @@ func scanSegment(path string, from, to int64, yield func(ingest.Datagram) error)
 }
 
 // bookSegment folds one scanned segment's outcome into the stats,
-// applying the strictness policy to its corruption error, if any.
-func bookSegment(info *SegmentInfo, read, filtered uint64, scanErr error, strict bool, stats *ReplayStats) error {
+// applying the strictness policy to its corruption error, if any. m may
+// be nil — both when metrics are off and when the caller already counted
+// the segment live (the unordered workers do).
+func bookSegment(info *SegmentInfo, read, filtered uint64, scanErr error, strict bool, stats *ReplayStats, m *replayMetrics) error {
 	stats.SegmentsRead++
 	stats.Filtered += filtered
+	if m != nil {
+		m.segsRead.Inc()
+		m.filtered.Add(filtered)
+		if scanErr != nil {
+			m.torn.Inc()
+		}
+	}
 	if scanErr == nil {
 		return nil
 	}
@@ -211,19 +239,22 @@ func bookSegment(info *SegmentInfo, read, filtered uint64, scanErr error, strict
 }
 
 // replaySequential scans the selected segments inline, in order.
-func replaySequential(dir string, scan []*SegmentInfo, from, to int64, strict bool, stats *ReplayStats, fn func(ingest.Datagram) error) error {
+func replaySequential(dir string, scan []*SegmentInfo, from, to int64, strict bool, stats *ReplayStats, m *replayMetrics, fn func(ingest.Datagram) error) error {
 	for _, info := range scan {
 		read, filtered, scanErr, yieldErr := scanSegment(idxPath(dir, info), from, to, func(d ingest.Datagram) error {
 			if err := fn(d); err != nil {
 				return err
 			}
 			stats.Records++
+			if m != nil {
+				m.records.Inc(0)
+			}
 			return nil
 		})
 		if yieldErr != nil {
 			return yieldErr
 		}
-		if err := bookSegment(info, read, filtered, scanErr, strict, stats); err != nil {
+		if err := bookSegment(info, read, filtered, scanErr, strict, stats, m); err != nil {
 			return err
 		}
 	}
@@ -249,7 +280,7 @@ type segTask struct {
 // segments of at most segTaskDepth batches each, even when segments are
 // tiny and a fast worker could otherwise sprint through the whole spool
 // ahead of a slow consumer.
-func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, fn func(ingest.Datagram) error) error {
+func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, m *replayMetrics, fn func(ingest.Datagram) error) error {
 	tasks := make([]*segTask, len(scan))
 	for i, info := range scan {
 		tasks[i] = &segTask{info: info, ch: make(chan []ingest.Datagram, segTaskDepth)}
@@ -334,11 +365,14 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 				}
 				stats.Records++
 			}
+			if m != nil {
+				m.records.Add(0, uint64(len(batch)))
+			}
 			pool.Put(&batch)
 		}
 		// The channel close happens after the worker's final field
 		// writes, so the outcome is safely visible here.
-		if err := bookSegment(t.info, t.read, t.filtered, t.scanErr, opts.Strict, stats); err != nil {
+		if err := bookSegment(t.info, t.read, t.filtered, t.scanErr, opts.Strict, stats, m); err != nil {
 			return abort(err)
 		}
 		// Segment fully consumed: return its claim token so a worker
@@ -420,7 +454,7 @@ func (m *markTracker) complete(i int) {
 // cross-reader low-watermark (min trailer Min over unfinished segments)
 // is advanced through opts.OnWatermark as segments complete, which is
 // what lets an order-tolerant pipeline expire flows mid-replay.
-func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, fn func(ingest.Datagram) error) error {
+func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, m *replayMetrics, fn func(ingest.Datagram) error) error {
 	tasks := make([]*unorderedTask, len(scan))
 	for i, info := range scan {
 		tasks[i] = &unorderedTask{info: info}
@@ -455,7 +489,7 @@ func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts Repla
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(cell int) {
 			defer wg.Done()
 			for {
 				select {
@@ -482,6 +516,10 @@ func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts Repla
 						return errReplayStopped
 					}
 					t.delivered++
+					if m != nil {
+						// The worker's own cell: no cross-reader line sharing.
+						m.records.Inc(cell)
+					}
 					return nil
 				})
 				if yieldErr != nil {
@@ -490,13 +528,24 @@ func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts Repla
 					// so it never advances the watermark.
 					return
 				}
+				if m != nil {
+					// Book the segment live — a collector watching the
+					// scrape sees a tear when it happens, not at end of
+					// run. The deterministic booking pass below therefore
+					// runs metrics-blind (nil) to avoid double counting.
+					m.segsRead.Inc()
+					m.filtered.Add(t.filtered)
+					if t.scanErr != nil {
+						m.torn.Inc()
+					}
+				}
 				if t.scanErr != nil && opts.Strict {
 					terminate(nil)
 					return
 				}
 				marks.complete(i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// Book outcomes in recorded segment order so stats (and the Torn
@@ -507,7 +556,7 @@ func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts Repla
 			continue
 		}
 		stats.Records += t.delivered
-		if err := bookSegment(t.info, t.read, t.filtered, t.scanErr, opts.Strict, stats); err != nil && bookErr == nil {
+		if err := bookSegment(t.info, t.read, t.filtered, t.scanErr, opts.Strict, stats, nil); err != nil && bookErr == nil {
 			bookErr = err
 		}
 	}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"booters/internal/ingest"
+	"booters/internal/obs"
 )
 
 // ErrCorrupt reports a segment whose bytes cannot be a whole record
@@ -87,6 +88,10 @@ type Options struct {
 	// Codec compresses blocks; nil means the "none" codec (blocks stored
 	// raw). Use CodecByName.
 	Codec Codec
+	// Metrics, when non-nil, registers the spool write-path counters
+	// (records, raw/stored bytes, finished segments — see docs/METRICS.md)
+	// on the given registry. nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 // Writer appends datagrams to a spool directory in the v2 format. It is
@@ -118,6 +123,7 @@ type Writer struct {
 
 	manifest []SegmentInfo
 	hdr      [recordHeaderSize]byte
+	m        *writerMetrics
 }
 
 // Create opens a fresh spool in dir, creating the directory if needed. It
@@ -136,6 +142,9 @@ func Create(dir string, opts Options) (*Writer, error) {
 		return nil, fmt.Errorf("spool: %s already holds %d segment(s)", dir, len(existing))
 	}
 	w := &Writer{dir: dir, segBytes: opts.SegmentBytes, blockBytes: opts.BlockBytes, codec: opts.Codec}
+	if opts.Metrics != nil {
+		w.m = newWriterMetrics(opts.Metrics)
+	}
 	if w.segBytes <= 0 {
 		w.segBytes = DefaultSegmentBytes
 	}
@@ -217,6 +226,10 @@ func (w *Writer) flushBlock() error {
 	w.cur += n
 	w.segStored += uint64(n)
 	w.segRaw += uint64(len(raw))
+	if w.m != nil {
+		w.m.rawBytes.Add(uint64(len(raw)))
+		w.m.stored.Add(uint64(n))
+	}
 	w.block = w.block[:0]
 	return nil
 }
@@ -264,6 +277,9 @@ func (w *Writer) finishSegment() error {
 		info.Max = time.Unix(0, w.segMax).UTC()
 	}
 	w.manifest = append(w.manifest, info)
+	if w.m != nil {
+		w.m.segments.Inc()
+	}
 	return nil
 }
 
@@ -309,6 +325,9 @@ func (w *Writer) Append(d ingest.Datagram) error {
 	}
 	w.segRecords++
 	w.n++
+	if w.m != nil {
+		w.m.records.Inc()
+	}
 	if len(w.block) >= w.blockBytes {
 		if err := w.flushBlock(); err != nil {
 			w.err = err

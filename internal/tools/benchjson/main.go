@@ -1,0 +1,183 @@
+// Command benchjson turns `go test -bench` output into a stable JSON
+// document, so benchmark trajectories can be checked in (BENCH_*.json at
+// the repo root) and diffed across PRs, and so CI can gate on a
+// regression bound between two benchmarks of the same run — the
+// metrics-on versus metrics-off ingest overhead gate being the motivating
+// case.
+//
+// Usage:
+//
+//	go test -bench 'Ingest1Shard' -benchtime 1x . | benchjson -note "PR 6" -out BENCH_PR6.json
+//	benchjson -in bench.txt -compare BenchmarkIngest1Shard,BenchmarkIngest1ShardMetrics \
+//	          -metric ns/op -max-delta-pct 3
+//
+// The parser keeps every `value unit` pair a benchmark line reports
+// (ns/op, B/op, allocs/op and custom b.ReportMetric units alike), keyed
+// by unit. -compare A,B computes the relative delta of B against A on
+// -metric and exits non-zero when it exceeds -max-delta-pct — "B may be
+// at most P percent worse than A" for cost-like metrics where bigger is
+// worse.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark: its iteration count, GOMAXPROCS suffix
+// and reported metrics keyed by unit.
+type Result struct {
+	// Procs is the -N GOMAXPROCS suffix of the benchmark line (0 when
+	// the line had none).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int `json:"iterations"`
+	// Metrics maps a reported unit ("ns/op", "packets/sec", "B/op",
+	// ...) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the checked-in JSON shape: a note plus the benchmark map.
+type Document struct {
+	// Note is freeform provenance (-note): PR number, host class, date.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps the full benchmark name (minus the -procs
+	// suffix) to its parsed result.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line: name, optional -procs
+// suffix, iteration count, then the metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	in := flag.String("in", "-", "bench output to parse (- = stdin)")
+	out := flag.String("out", "-", "JSON destination (- = stdout)")
+	note := flag.String("note", "", "freeform provenance note recorded in the JSON")
+	compare := flag.String("compare", "", "two benchmark names A,B to compare (exit 1 on regression)")
+	metric := flag.String("metric", "ns/op", "metric unit for -compare (bigger = worse)")
+	maxDelta := flag.Float64("max-delta-pct", 3, "fail -compare when B is more than this percent worse than A")
+	flag.Parse()
+
+	doc, err := parse(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc.Note = *note
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found in input")
+	}
+	if err := write(*out, doc); err != nil {
+		log.Fatal(err)
+	}
+	if *compare != "" {
+		if err := gate(doc, *compare, *metric, *maxDelta); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// parse reads `go test -bench` output from path (or stdin) and collects
+// every benchmark line. A benchmark appearing more than once (e.g.
+// -count > 1) keeps its last occurrence.
+func parse(path string) (*Document, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	doc := &Document{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[3])
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters, Metrics: map[string]float64{}}
+		if m[2] != "" {
+			res.Procs, _ = strconv.Atoi(m[2])
+		}
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad metric value %q", m[1], fields[i])
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		doc.Benchmarks[m[1]] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// write renders the document as indented JSON to path (or stdout).
+// Object keys are emitted sorted (encoding/json sorts map keys), so the
+// output is diff-stable across runs.
+func write(path string, doc *Document) error {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// gate enforces the -compare bound: benchmark B's metric may exceed A's
+// by at most maxDelta percent. The verdict line goes to stderr either
+// way so CI logs show the measured overhead.
+func gate(doc *Document, compare, metric string, maxDelta float64) error {
+	names := strings.Split(compare, ",")
+	if len(names) != 2 {
+		return fmt.Errorf("-compare wants exactly two names, got %q", compare)
+	}
+	values := make([]float64, 2)
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		res, ok := doc.Benchmarks[name]
+		if !ok {
+			return fmt.Errorf("benchmark %q not in input", name)
+		}
+		v, ok := res.Metrics[metric]
+		if !ok {
+			return fmt.Errorf("benchmark %q has no %q metric", name, metric)
+		}
+		if v <= 0 && i == 0 {
+			return fmt.Errorf("benchmark %q: non-positive %s baseline", name, metric)
+		}
+		values[i] = v
+	}
+	delta := (values[1] - values[0]) / values[0] * 100
+	fmt.Fprintf(os.Stderr, "benchjson: %s: %s vs %s: %+.2f%% (bound +%.2f%%)\n",
+		metric, names[1], names[0], delta, maxDelta)
+	if delta > maxDelta {
+		return fmt.Errorf("%s regression: %s is %.2f%% worse than %s (bound %.2f%%)",
+			metric, names[1], delta, names[0], maxDelta)
+	}
+	return nil
+}
