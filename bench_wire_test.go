@@ -1,0 +1,55 @@
+package booters
+
+// Wire front-end benchmark, in bench_ingest_test.go's reporting style:
+// the shared bench stream shipped over real loopback TCP — framing,
+// CRCs, batch encode/decode, acks — into a fresh 4-shard pipeline per
+// iteration, reporting end-to-end packets/sec. Against
+// BenchmarkIngest4Shard (the same stream fed in-process) the delta is
+// the whole networked path's cost; the recorded trajectory lives in
+// BENCH_PR7.json. Run with:
+//
+//	go test -bench Wire -benchmem
+
+import (
+	"testing"
+
+	"booters/internal/ingest"
+	"booters/internal/wire"
+)
+
+func BenchmarkWireSensorCollector(b *testing.B) {
+	packets := benchIngestStream(b)
+	recs := ingest.Datagrams(packets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := ingest.New(benchIngestConfig(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := wire.Listen("127.0.0.1:0", wire.CollectorConfig{Ingest: in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := wire.Ship(wire.SensorConfig{
+			Addr:   col.Addr().String(),
+			Sensor: 1,
+			Feed:   wire.NewSliceFeed(recs),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Acked != uint64(len(recs)) {
+			b.Fatalf("acked %d of %d records", rep.Acked, len(recs))
+		}
+		col.Close()
+		res, err := in.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Attacks == 0 {
+			b.Fatal("no attacks classified")
+		}
+	}
+	b.ReportMetric(float64(len(recs))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(len(recs)), "packets/op")
+}

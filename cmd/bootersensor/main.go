@@ -1,0 +1,161 @@
+// Command bootersensor is the sensor half of the networked capture
+// path: it ships a reflected-UDP record stream — a recorded on-disk
+// spool, or a stream generated from the booter-market simulator — to a
+// collector (booterserve -listen) over the framed session protocol of
+// docs/WIRE_PROTOCOL.md, and exits once the collector has acknowledged
+// the stream's final record.
+//
+// Usage:
+//
+//	bootersensor -collector HOST:PORT [-token TOK] [-sensor N]
+//	             [-spool DIR | -seed N -weeks N -attacks N]
+//	             [-batch N] [-heartbeat DUR] [-linger DUR]
+//	             [-pprof ADDR] [-progress DUR]
+//
+// -spool DIR ships an existing spool directory (recorded with
+// booterserve -record, booteringest -record, or bootersensor itself on
+// an earlier run); without it the synthetic stream described by
+// -seed/-weeks/-attacks is generated in memory and shipped. Connection
+// loss redials with exponential backoff and resumes exactly from the
+// collector's last acknowledged offset, so interrupting and restarting
+// a shipment never loses or duplicates a record. -linger turns the
+// sensor into a live tail that keeps the session open — heartbeating,
+// shipping whatever appears in the spool — until the feed has stayed
+// dry that long.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"booters/internal/ingest"
+	"booters/internal/obs"
+	"booters/internal/wire"
+)
+
+const usageText = `bootersensor ships a reflected-UDP record stream to a collector
+(booterserve -listen) over the framed, authenticated, resumable session
+protocol: batches carry spool-format records, acks are cumulative record
+offsets, and a reconnect resumes exactly where the collector's last ack
+left off — no loss, no duplication. The stream is an existing spool
+directory (-spool) or a synthetic market-driven stream generated in
+memory (-seed/-weeks/-attacks).
+
+Usage:
+
+  bootersensor -collector HOST:PORT [-token TOK] [-sensor N]
+               [-spool DIR | -seed N -weeks N -attacks N]
+               [-batch N] [-heartbeat DUR] [-linger DUR]
+               [-pprof ADDR] [-progress DUR]
+
+Flags:
+
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bootersensor: ")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), usageText)
+		flag.PrintDefaults()
+	}
+	collector := flag.String("collector", "", "collector address (required; booterserve -listen)")
+	token := flag.String("token", "", "shared secret presented in the handshake")
+	sensorID := flag.Uint("sensor", 1, "sensor ID; the collector keys resume offsets by it")
+	spoolDir := flag.String("spool", "", "ship this recorded spool directory instead of a generated stream")
+	seed := flag.Int64("seed", 20191021, "stream generator seed")
+	weeks := flag.Int("weeks", 4, "generated stream length in weeks")
+	attacks := flag.Float64("attacks", 500, "mean attack flows per week")
+	batch := flag.Int("batch", wire.DefaultBatchRecords, "records per batch frame")
+	heartbeat := flag.Duration("heartbeat", wire.DefaultHeartbeat, "idle interval between heartbeats (keep under the collector's dead-session deadline)")
+	linger := flag.Duration("linger", 0, "live-tail: keep the session open until the feed stays dry this long (0 = finish at end of feed)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (empty = off)")
+	progressEvery := flag.Duration("progress", 0, "emit a structured progress line to stderr this often (0 = off)")
+	flag.Parse()
+
+	if *collector == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		_, bound, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("-pprof: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
+	if *spoolDir != "" && (*weeks != 4 || *attacks != 500) {
+		log.Fatal("-weeks/-attacks only apply to generated streams (the spool fixes the workload)")
+	}
+
+	var feed wire.Feed
+	if *spoolDir != "" {
+		sf := wire.NewSpoolFeed(*spoolDir)
+		defer sf.Close()
+		feed = sf
+	} else {
+		genStart := time.Now()
+		packets, err := ingest.SyntheticStream(ingest.StreamConfig{
+			Seed:           *seed,
+			Start:          time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC),
+			Weeks:          *weeks,
+			AttacksPerWeek: *attacks,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d packets over %d weeks in %v\n",
+			len(packets), *weeks, time.Since(genStart).Round(time.Millisecond))
+		feed = wire.NewSliceFeed(ingest.Datagrams(packets))
+	}
+
+	reg := obs.Default()
+	stopProgress := startProgress(*progressEvery, func() []obs.Field {
+		fields := []obs.Field{}
+		if n, ok := reg.Sum("booters_wire_sensor_records_total"); ok {
+			fields = append(fields, obs.F("records", uint64(n)))
+		}
+		if n, ok := reg.Sum("booters_wire_sensor_acked_offset"); ok {
+			fields = append(fields, obs.F("acked", uint64(n)))
+		}
+		if n, ok := reg.Sum("booters_wire_sensor_dials_total"); ok {
+			fields = append(fields, obs.F("dials", uint64(n)))
+		}
+		return fields
+	})
+
+	shipStart := time.Now()
+	rep, err := wire.Ship(wire.SensorConfig{
+		Addr:         *collector,
+		Sensor:       uint32(*sensorID),
+		Token:        *token,
+		Feed:         feed,
+		BatchRecords: *batch,
+		Heartbeat:    *heartbeat,
+		Linger:       *linger,
+		Metrics:      reg,
+		Logf:         log.Printf,
+	})
+	stopProgress()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(shipStart)
+	fmt.Printf("shipped %d records in %d batches (%d bytes, %v, %.0f records/sec); %d dials, %d resumes, acked offset %d\n",
+		rep.Records, rep.Batches, rep.Bytes, elapsed.Round(time.Millisecond),
+		float64(rep.Records)/elapsed.Seconds(), rep.Dials, rep.Resumes, rep.Acked)
+}
+
+// startProgress starts a stderr progress logger when -progress is set and
+// returns its stop function; a zero interval returns a no-op.
+func startProgress(every time.Duration, snapshot func() []obs.Field) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	p := obs.NewProgress(os.Stderr, every, snapshot)
+	p.Start()
+	return p.Stop
+}

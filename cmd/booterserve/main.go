@@ -8,9 +8,9 @@
 // Usage:
 //
 //	booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
-//	            [-record DIR [-compress CODEC] | -replay DIR]
-//	            [-replay-workers N] [-throttle PPS] [-exit-after-replay]
-//	            [-pprof ADDR] [-progress DUR]
+//	            [-record DIR [-compress CODEC] | -replay DIR | -listen HOST:PORT]
+//	            [-wire-token TOK] [-replay-workers N] [-throttle PPS]
+//	            [-exit-after-replay] [-pprof ADDR] [-progress DUR]
 //
 // Without a spool flag the generated stream is fed straight to the
 // pipeline. -record DIR spools the generated stream to disk first and
@@ -23,6 +23,16 @@
 // self-check queries the server over HTTP, and the server keeps
 // answering until interrupted (-exit-after-replay exits instead, for
 // smoke tests).
+//
+// -listen HOST:PORT is the collector mode: instead of feeding itself,
+// the process accepts networked sensor sessions (bootersensor, speaking
+// the framed protocol of docs/WIRE_PROTOCOL.md, authenticated with
+// -wire-token) on that address and serves the accumulating panel while
+// the fleet ships. The pipeline is order-tolerant — sensors deliver in
+// per-sensor time order but interleave arbitrarily — and sensors that
+// disconnect resume exactly from their last acknowledged record.
+// Interrupt to stop: the collector drains, the pipeline closes, and the
+// final panel is published and self-checked.
 //
 // The whole pipeline is instrumented through internal/obs: /v1/metrics
 // serves the Prometheus text exposition (ingest, spool, serving and
@@ -69,9 +79,14 @@ ends the final panel keeps being served until interrupt.
 Usage:
 
   booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
-              [-record DIR [-compress CODEC] | -replay DIR]
-              [-replay-workers N] [-throttle PPS] [-exit-after-replay]
-              [-pprof ADDR] [-progress DUR]
+              [-record DIR [-compress CODEC] | -replay DIR | -listen HOST:PORT]
+              [-wire-token TOK] [-replay-workers N] [-throttle PPS]
+              [-exit-after-replay] [-pprof ADDR] [-progress DUR]
+
+-listen turns the process into a collector: networked sensors
+(bootersensor) ship record batches over the framed session protocol of
+docs/WIRE_PROTOCOL.md, authenticated with -wire-token, resumable after
+disconnects, while the panel they feed is served live.
 
 Endpoints: /v1/status /v1/panel /v1/series /v1/top /v1/model /v1/spool
 /v1/metrics (Prometheus text exposition)
@@ -95,6 +110,8 @@ func main() {
 	recordDir := flag.String("record", "", "spool the generated stream to this directory, then replay it from disk")
 	compress := flag.String("compress", "none", "spool block codec for -record: none or lz4")
 	replayDir := flag.String("replay", "", "replay an existing spool from this directory")
+	listen := flag.String("listen", "", "collector mode: accept networked sensor sessions on this address")
+	wireToken := flag.String("wire-token", "", "shared secret sensors must present (collector mode)")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers")
 	throttle := flag.Float64("throttle", 0, "pace ingestion to about this many packets/sec (0 = full speed)")
 	exitAfter := flag.Bool("exit-after-replay", false, "exit after the stream ends instead of serving until interrupt")
@@ -112,6 +129,16 @@ func main() {
 
 	if *recordDir != "" && *replayDir != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
+	}
+	if *listen != "" && (*recordDir != "" || *replayDir != "") {
+		log.Fatal("-listen feeds from networked sensors; it excludes -record and -replay")
+	}
+	if *wireToken != "" && *listen == "" {
+		log.Fatal("-wire-token only applies to collector mode (-listen)")
+	}
+	if *listen != "" {
+		collectorMode(*listen, *wireToken, *addr, *shards, *weeks, *progressEvery)
+		return
 	}
 	if *replayDir != "" && (*weeks != 52 || *attacks != 500) {
 		log.Fatal("-weeks/-attacks only apply to generated streams (the replayed spool fixes the workload)")
@@ -250,6 +277,75 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+}
+
+// collectorMode runs the sensor-fed half of the reproduction: a wire
+// collector accepting bootersensor sessions on listenAddr, feeding an
+// order-tolerant rolling pipeline whose panel is served on addr until
+// interrupt. On interrupt the collector drains, the pipeline closes and
+// the final panel is published and self-checked.
+func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEvery time.Duration) {
+	start := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	in, err := ingest.New(ingest.Config{
+		Shards:    shards,
+		Start:     start,
+		End:       start.AddDate(0, 0, 7*weeks-1),
+		Rolling:   true,
+		Unordered: true,
+		Metrics:   obs.Default(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := booters.Serve(in, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	col, err := booters.ListenWire(in, listenAddr, token)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collecting sensor sessions on %s (panel %s + %d weeks)\n", col.Addr(), start.Format("2006-01-02"), weeks)
+	fmt.Printf("serving on http://%s — try /v1/status, /v1/panel, /v1/metrics\n", srv.Addr())
+
+	reg := in.Metrics()
+	stopProgress := startProgress(progressEvery, func() []obs.Field {
+		fields := []obs.Field{
+			obs.F("packets", in.Packets()),
+			obs.F("sessions", col.Sessions()),
+		}
+		if n, ok := reg.Sum("booters_wire_records_total"); ok {
+			fields = append(fields, obs.F("records", uint64(n)))
+		}
+		if lag, ok := reg.Sum("booters_ingest_watermark_lag_seconds"); ok {
+			fields = append(fields, obs.F("lag_s", fmt.Sprintf("%.1f", lag)))
+		}
+		return fields
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("interrupt: draining collector and sealing the panel")
+	col.Close()
+	res, err := in.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopProgress()
+	fmt.Printf("collected %d packets; %d flows, %d attacks, %d scans\n",
+		res.Stats.Packets, res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans)
+	for _, path := range []string{"/v1/status", "/v1/panel"} {
+		body, err := get(srv.Addr(), path)
+		if err != nil {
+			log.Fatalf("self-check %s: %v", path, err)
+		}
+		if len(body) > 120 {
+			body = append(body[:120], "..."...)
+		}
+		fmt.Printf("self-check %s: %s\n", path, body)
+	}
 }
 
 // indexSpan returns the earliest and latest indexed record timestamps in

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/netip"
 	"os"
+	"path/filepath"
 	"time"
 
 	"booters/internal/ingest"
@@ -271,6 +272,7 @@ type Reader struct {
 	i    int
 	sr   *segmentReader
 	n    uint64
+	base uint64
 }
 
 // Open opens a spool directory for sequential replay.
@@ -289,10 +291,68 @@ func Open(dir string) (*Reader, error) {
 	return r, nil
 }
 
+// OpenAt opens a spool directory positioned at the given absolute record
+// offset (record 0 is the first datagram ever appended), so a replay can
+// resume exactly where an earlier one was acknowledged — the wire
+// protocol's reconnect-with-resume primitive. Whole segments before the
+// offset are skipped through the index without being opened; only the
+// remainder within the first relevant segment (and any unindexed
+// segment) is decoded and discarded. An offset at or beyond the spool's
+// end yields a reader whose first Next returns io.EOF.
+func OpenAt(dir string, offset uint64) (*Reader, error) {
+	idx, err := LoadIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(idx.Segments) == 0 {
+		return nil, fmt.Errorf("spool: no segments in %s", dir)
+	}
+	r := &Reader{base: offset}
+	for _, s := range idx.Segments {
+		r.segs = append(r.segs, filepath.Join(dir, s.Name))
+	}
+	// Skip whole indexed segments by their attested record counts.
+	rem := offset
+	for r.i < len(idx.Segments) && idx.Segments[r.i].Indexed && rem >= idx.Segments[r.i].Records {
+		rem -= idx.Segments[r.i].Records
+		r.i++
+	}
+	if r.i >= len(r.segs) {
+		return r, nil // positioned at (or past) the end
+	}
+	if r.sr, err = openSegmentReader(r.segs[r.i]); err != nil {
+		return nil, err
+	}
+	// Decode and discard the remainder inside the segment (and across
+	// unindexed segments, which cannot be skipped without scanning).
+	for rem > 0 {
+		if _, err := r.sr.next(); err == io.EOF {
+			r.sr.close()
+			r.i++
+			if r.i >= len(r.segs) {
+				r.sr = nil
+				return r, nil
+			}
+			if r.sr, err = openSegmentReader(r.segs[r.i]); err != nil {
+				return nil, err
+			}
+			continue
+		} else if err != nil {
+			r.sr.close()
+			return nil, err
+		}
+		rem--
+	}
+	return r, nil
+}
+
 // Next returns the next datagram in spool order, io.EOF after the last
 // one, or an error wrapping ErrCorrupt for a cut-off or inconsistent
 // segment.
 func (r *Reader) Next() (ingest.Datagram, error) {
+	if r.sr == nil {
+		return ingest.Datagram{}, io.EOF
+	}
 	for {
 		d, err := r.sr.next()
 		if err == nil {
@@ -315,6 +375,11 @@ func (r *Reader) Next() (ingest.Datagram, error) {
 
 // Count returns the number of datagrams returned so far.
 func (r *Reader) Count() uint64 { return r.n }
+
+// Offset returns the absolute record offset of the next datagram Next
+// would return: the OpenAt starting position plus everything read since.
+// Feeding it back into OpenAt resumes the replay exactly here.
+func (r *Reader) Offset() uint64 { return r.base + r.n }
 
 // Close releases the reader's current segment file.
 func (r *Reader) Close() error {

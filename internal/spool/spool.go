@@ -122,7 +122,6 @@ type Writer struct {
 	segCRC     uint32
 
 	manifest []SegmentInfo
-	hdr      [recordHeaderSize]byte
 	m        *writerMetrics
 }
 
@@ -289,34 +288,18 @@ func (w *Writer) Append(d ingest.Datagram) error {
 	if w.err != nil {
 		return w.err
 	}
-	if !d.Victim.IsValid() {
-		return fmt.Errorf("spool: datagram has no victim address")
-	}
-	if len(d.Payload) > 0xFFFF {
-		return fmt.Errorf("spool: payload of %d bytes exceeds the 64 KiB record limit", len(d.Payload))
-	}
-	if d.Port < 0 || d.Port > 0xFFFF {
-		return fmt.Errorf("spool: port %d out of range", d.Port)
-	}
-	if d.Sensor < 0 || int64(d.Sensor) > 0xFFFFFFFF {
-		return fmt.Errorf("spool: sensor %d out of range", d.Sensor)
-	}
 	if w.cur+int64(len(w.block)) >= w.segBytes {
 		if err := w.rotate(); err != nil {
 			w.err = err
 			return err
 		}
 	}
+	block, err := AppendRecord(w.block, d)
+	if err != nil {
+		return err
+	}
+	w.block = block
 	ns := d.Time.UnixNano()
-	b := w.hdr[:]
-	binary.BigEndian.PutUint64(b[0:8], uint64(ns))
-	v16 := d.Victim.As16()
-	copy(b[8:24], v16[:])
-	binary.BigEndian.PutUint16(b[24:26], uint16(d.Port))
-	binary.BigEndian.PutUint32(b[26:30], uint32(d.Sensor))
-	binary.BigEndian.PutUint16(b[30:32], uint16(len(d.Payload)))
-	w.block = append(w.block, b...)
-	w.block = append(w.block, d.Payload...)
 	if w.segRecords == 0 || ns < w.segMin {
 		w.segMin = ns
 	}

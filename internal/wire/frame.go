@@ -1,0 +1,182 @@
+// Package wire is the networked sensor front-end: a length-prefixed
+// framed session protocol that carries batches of the spool record
+// format from remote honeypot sensors to a central collector feeding
+// internal/ingest. A session is a handshake (protocol version, sensor
+// ID, token auth), a stream of batch frames acknowledged by cumulative
+// record offsets, and periodic heartbeats; a sensor that loses its
+// connection redials and resumes from the last acknowledged offset, so
+// the pipeline sees every record exactly once. The collector registers
+// one ingest low-watermark source per session, maps backpressure onto
+// the pipeline's shed policies, and instruments both sides through
+// internal/obs. The frame and message codecs never trust a length field
+// before bounding it, never allocate more than a frame's documented cap,
+// and are fuzzed (FuzzFrameDecode, FuzzHandshake). The normative spec
+// lives in docs/WIRE_PROTOCOL.md.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// ErrProtocol is wrapped by every framing or message violation — bad
+// magic, oversized payloads, checksum mismatches, fields that contradict
+// the frame length. A session that sees it is unrecoverable and closes;
+// transport errors (timeouts, resets) deliberately do not wrap it, so
+// callers can tell "redial and resume" apart from "the peer is broken".
+var ErrProtocol = errors.New("wire: protocol error")
+
+// FrameType tags what a frame's payload means. Unknown types are a
+// protocol error: the receiver cannot skip what it cannot bound.
+type FrameType uint8
+
+// Frame types. Hello through Goodbye follow the session's life in
+// order; Reject can interrupt it at any point.
+const (
+	FrameHello     FrameType = 1 // sensor → collector: version, sensor ID, auth token
+	FrameWelcome   FrameType = 2 // collector → sensor: accepted, resume offset
+	FrameBatch     FrameType = 3 // sensor → collector: record batch at a base offset
+	FrameAck       FrameType = 4 // collector → sensor: cumulative acknowledged offset
+	FrameHeartbeat FrameType = 5 // sensor → collector: liveness + stream-time promise
+	FrameGoodbye   FrameType = 6 // sensor → collector: clean end at a final offset
+	FrameReject    FrameType = 7 // collector → sensor: terminal refusal with a code
+)
+
+// String names the frame type for logs and metric labels.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameWelcome:
+		return "welcome"
+	case FrameBatch:
+		return "batch"
+	case FrameAck:
+		return "ack"
+	case FrameHeartbeat:
+		return "heartbeat"
+	case FrameGoodbye:
+		return "goodbye"
+	case FrameReject:
+		return "reject"
+	}
+	return fmt.Sprintf("type%d", uint8(t))
+}
+
+// frameTypes lists every valid frame type, for metrics registration and
+// fuzz corpora.
+var frameTypes = []FrameType{
+	FrameHello, FrameWelcome, FrameBatch, FrameAck,
+	FrameHeartbeat, FrameGoodbye, FrameReject,
+}
+
+// FrameHeaderSize is the fixed frame prologue: payload length (u32),
+// frame type (u8), CRC-32 (IEEE) of the payload (u32), all big-endian.
+const FrameHeaderSize = 9
+
+// MaxControlPayload caps every frame type except Batch. Control frames
+// are a handful of fixed fields plus a short token or message; anything
+// larger is hostile.
+const MaxControlPayload = 1 << 10
+
+// MaxBatchPayload caps a Batch frame's payload. It bounds both the
+// receiver's allocation for one frame and the redelivery window after a
+// torn connection.
+const MaxBatchPayload = 1 << 20
+
+// maxPayload returns the payload cap for a frame type, or 0 for an
+// unknown type.
+func maxPayload(t FrameType) int {
+	switch t {
+	case FrameBatch:
+		return MaxBatchPayload
+	case FrameHello, FrameWelcome, FrameAck, FrameHeartbeat, FrameGoodbye, FrameReject:
+		return MaxControlPayload
+	}
+	return 0
+}
+
+// AppendFrame appends one framed payload to dst and returns the
+// extended slice. It fails if the payload exceeds the type's cap, so an
+// encoder bug surfaces at the sender rather than as a peer reject.
+func AppendFrame(dst []byte, t FrameType, payload []byte) ([]byte, error) {
+	max := maxPayload(t)
+	if max == 0 {
+		return dst, fmt.Errorf("%w: unknown frame type %d", ErrProtocol, uint8(t))
+	}
+	if len(payload) > max {
+		return dst, fmt.Errorf("%w: %v payload %d bytes exceeds cap %d", ErrProtocol, t, len(payload), max)
+	}
+	var hdr [FrameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = uint8(t)
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+// FrameReader decodes frames off a byte stream. The payload it returns
+// aliases an internal buffer that the next call reuses — decode or copy
+// before reading on. It is not safe for concurrent use.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	n   uint64
+}
+
+// NewFrameReader wraps a stream for frame decoding.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next reads one frame, returning its type and payload. The declared
+// length is checked against the type's cap before any allocation, so a
+// hostile length prefix can cost at most MaxBatchPayload. io.EOF means
+// the stream ended cleanly between frames; mid-frame truncation and
+// checksum mismatches wrap ErrProtocol.
+func (fr *FrameReader) Next() (FrameType, []byte, error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: frame header cut off", ErrProtocol)
+		}
+		return 0, nil, err
+	}
+	fr.n += FrameHeaderSize
+	plen := int(binary.BigEndian.Uint32(hdr[0:4]))
+	t := FrameType(hdr[4])
+	want := binary.BigEndian.Uint32(hdr[5:9])
+	max := maxPayload(t)
+	if max == 0 {
+		return 0, nil, fmt.Errorf("%w: unknown frame type %d", ErrProtocol, hdr[4])
+	}
+	if plen > max {
+		return 0, nil, fmt.Errorf("%w: %v payload claims %d bytes, cap is %d", ErrProtocol, t, plen, max)
+	}
+	if cap(fr.buf) < plen {
+		fr.buf = make([]byte, plen)
+	}
+	p := fr.buf[:plen]
+	if _, err := io.ReadFull(fr.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: %v payload cut off", ErrProtocol, t)
+		}
+		return 0, nil, err
+	}
+	fr.n += uint64(plen)
+	if crc32.ChecksumIEEE(p) != want {
+		return 0, nil, fmt.Errorf("%w: %v payload checksum mismatch", ErrProtocol, t)
+	}
+	return t, p, nil
+}
+
+// Bytes returns the total bytes of complete header and payload reads so
+// far, for metrics.
+func (fr *FrameReader) Bytes() uint64 { return fr.n }
