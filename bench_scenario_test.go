@@ -1,0 +1,78 @@
+package booters
+
+// Scenario replay benchmarks, in bench_test.go's reporting style: the
+// catalog's exact-recovery takedown fixture through the ordered
+// pipeline, and the hostile-flood fixture (duplicates + bounded reorder
+// + clock skew) through the order-tolerant watermark-lagged path — the
+// cost of replaying a ground-truthed workload versus a raw synthetic
+// stream. Each iteration verifies the weekly panel against the
+// manifest, so the benchmark doubles as a smoke check. Run with:
+//
+//	go test -bench Scenario -benchmem
+//
+// Generation is once per process and untimed; the measured path is
+// replay plus panel accumulation.
+
+import (
+	"runtime"
+	"testing"
+
+	"booters/internal/scenario"
+)
+
+// runScenarioBenchmark replays a cached catalog scenario through a fresh
+// pipeline per iteration and reports throughput.
+func runScenarioBenchmark(b *testing.B, spec string) {
+	run := cachedScenarioRun(b, spec)
+	n := len(run.Stream())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ReplayScenario(run, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run.Manifest.VerifyPanel(res.Global); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(n), "packets/op")
+}
+
+// BenchmarkIngestScenarioTakedown replays the 104-week exact-recovery
+// takedown fixture through the ordered streaming pipeline.
+func BenchmarkIngestScenarioTakedown(b *testing.B) {
+	runScenarioBenchmark(b, "takedown-sharp")
+}
+
+// BenchmarkIngestScenarioHostile replays the hostile-flood fixture —
+// its delivery stream carries 25% duplicates, 120 s bounded reordering
+// and ±45 s sensor clock skew — through the order-tolerant pipeline
+// with the watermark lagged by the reorder bound.
+func BenchmarkIngestScenarioHostile(b *testing.B) {
+	run := cachedScenarioRun(b, "hostile-flood")
+	if !run.RequiresUnordered() {
+		b.Fatal("hostile-flood should demand the order-tolerant path")
+	}
+	runScenarioBenchmark(b, "hostile-flood")
+}
+
+// BenchmarkScenarioGenerate measures generation itself: plan + packet
+// emission + hostile transforms + manifest for the hostile fixture.
+func BenchmarkScenarioGenerate(b *testing.B) {
+	cfg, err := scenario.Load("hostile-flood")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var packets int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := scenario.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = len(run.Stream())
+	}
+	b.ReportMetric(float64(packets)*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+	b.ReportMetric(float64(packets), "packets/op")
+}

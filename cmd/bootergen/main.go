@@ -1,10 +1,13 @@
 // Command bootergen generates the reproduction's synthetic datasets and
 // writes them as CSV: the weekly global/per-country/per-protocol panel and
-// the booter self-report panel.
+// the booter self-report panel. With -scenario it instead generates a
+// named (or config-file) scenario workload, replays it through the batch
+// pipeline, and writes the same CSVs plus the scenario's ground-truth
+// manifest.
 //
 // Usage:
 //
-//	bootergen [-seed N] [-out DIR]
+//	bootergen [-seed N] [-out DIR] [-scenario NAME|FILE|list]
 package main
 
 import (
@@ -13,9 +16,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"strings"
 
+	"booters"
 	"booters/internal/dataset"
+	"booters/internal/ingest"
+	"booters/internal/scenario"
 )
 
 const usageText = `bootergen generates the reproduction's synthetic datasets and writes them
@@ -24,9 +29,18 @@ the honeypot side, and the booter self-report panel from the scraping
 side. The files feed external analyses or the externaldata example's
 load-your-own-data workflow.
 
+-scenario NAME|FILE swaps the paper-calibrated dataset for a scenario
+workload (a catalog name, or a JSON config per docs/SCENARIOS.md): the
+scenario's packet stream is replayed through the batch pipeline, the
+panel is verified against the scenario's planned weekly counts, and
+manifest.json records the injected ground truth (effect sizes, expected
+NB2 coefficients with tolerances) next to the CSVs. The self-report CSVs
+are then populated from the scenario's streaming scrape source, when the
+scenario carries one. -scenario list prints the catalog.
+
 Usage:
 
-  bootergen [-seed N] [-out DIR]
+  bootergen [-seed N] [-out DIR] [-scenario NAME|FILE|list]
 
 Flags:
 
@@ -41,67 +55,130 @@ func main() {
 	}
 	seed := flag.Int64("seed", 20191021, "generator seed")
 	out := flag.String("out", ".", "output directory")
+	scenarioFlag := flag.String("scenario", "", "generate a scenario workload: catalog name, config file, or list")
 	flag.Parse()
+
+	if *scenarioFlag == "list" {
+		for _, name := range scenario.Names() {
+			fmt.Printf("%-20s %s\n", name, scenario.Describe(name))
+		}
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if *scenarioFlag != "" {
+		runScenario(*scenarioFlag, *out)
+		return
+	}
 
 	p, err := dataset.Generate(dataset.DefaultConfig(*seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatal(err)
-	}
-
-	if err := writePanel(p, filepath.Join(*out, "weekly_panel.csv")); err != nil {
-		log.Fatal(err)
-	}
-	if err := writeSelfReport(p, filepath.Join(*out, "self_report.csv")); err != nil {
-		log.Fatal(err)
-	}
-	if err := writeChurn(p, filepath.Join(*out, "market_churn.csv")); err != nil {
-		log.Fatal(err)
-	}
+	writeCSVs(p, *out)
 	fmt.Printf("wrote %s (%d weeks), %s (%d booters), %s\n",
 		filepath.Join(*out, "weekly_panel.csv"), p.Weeks,
 		filepath.Join(*out, "self_report.csv"), len(p.SelfReport.Sites),
 		filepath.Join(*out, "market_churn.csv"))
 }
 
-func writePanel(p *dataset.Panel, path string) error {
-	f, err := os.Create(path)
+// runScenario generates the named scenario, replays it through the batch
+// pipeline, verifies the panel against the plan, and writes the CSVs and
+// the ground-truth manifest.
+func runScenario(spec, out string) {
+	run, err := booters.GenerateScenario(spec)
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
-	if err := dataset.WritePanelCSV(f, p); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
+	m := run.Manifest
+	fmt.Printf("scenario %s: %d packets (%d attacks, %d scans) over %d weeks\n",
+		m.Name, m.Packets, m.Attacks, m.Scans, m.Weeks)
 
-func writeSelfReport(p *dataset.Panel, path string) error {
-	var b strings.Builder
-	b.WriteString("week,booter,up,total\n")
-	sr := p.SelfReport
-	for _, h := range sr.Sites {
-		for _, o := range h.Obs {
-			up := 0
-			if o.Up {
-				up = 1
-			}
-			fmt.Fprintf(&b, "%s,%s,%d,%.0f\n",
-				sr.Start.Start.AddDate(0, 0, 7*o.Week).Format("2006-01-02"), h.Name, up, o.Total)
+	res, err := ingest.Batch(ingest.Config{
+		Shards: 1,
+		Start:  run.Config.Start,
+		End:    run.Config.End(),
+	}, run.Packets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.VerifyPanel(res.Global); err != nil {
+		log.Fatal(err)
+	}
+	p, err := booters.ScenarioPanel(run, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	writeCSVs(p, out)
+	manifestPath := filepath.Join(out, "manifest.json")
+	if err := m.WriteFile(manifestPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d weeks), %s\n",
+		filepath.Join(out, "weekly_panel.csv"), p.Weeks, manifestPath)
+	if p.SelfReport != nil {
+		fmt.Printf("wrote %s (%d booters from %d scrape events), %s\n",
+			filepath.Join(out, "self_report.csv"), len(p.SelfReport.Sites), len(run.Scrape),
+			filepath.Join(out, "market_churn.csv"))
+	}
+
+	// Report recovery for every effect the manifest asserts, so a
+	// scenario run is a visible end-to-end check, not just files.
+	assert := false
+	for _, e := range m.Effects {
+		if e.CoefTolerance > 0 {
+			assert = true
 		}
 	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	if assert {
+		model, err := m.Fit(res.Global)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.VerifyFit(model); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range m.Effects {
+			got, err := model.Effect(e.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("effect %s: fitted %.4f vs injected %.4f (tolerance %.3f) — recovered\n",
+				e.Name, got.Coef.Estimate, e.ExpectedCoef, e.CoefTolerance)
+		}
+	}
 }
 
-func writeChurn(p *dataset.Panel, path string) error {
-	var b strings.Builder
-	b.WriteString("week,births,deaths,resurrections\n")
-	sr := p.SelfReport
-	for _, c := range sr.Churn {
-		fmt.Fprintf(&b, "%s,%d,%d,%d\n",
-			sr.Start.Start.AddDate(0, 0, 7*c.Week).Format("2006-01-02"), c.Births, c.Deaths, c.Resurrections)
+// writeCSVs writes the panel's CSV exports; the self-report files are
+// skipped when the panel has no self-report side.
+func writeCSVs(p *dataset.Panel, out string) {
+	writeFile(filepath.Join(out, "weekly_panel.csv"), func(f *os.File) error {
+		return dataset.WritePanelCSV(f, p)
+	})
+	if p.SelfReport == nil {
+		return
 	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	writeFile(filepath.Join(out, "self_report.csv"), func(f *os.File) error {
+		return dataset.WriteSelfReportCSV(f, p.SelfReport)
+	})
+	writeFile(filepath.Join(out, "market_churn.csv"), func(f *os.File) error {
+		return dataset.WriteChurnCSV(f, p.SelfReport)
+	})
+}
+
+// writeFile creates path, runs the writer, and fails the run on any error.
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -52,6 +53,7 @@ import (
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/scenario"
 	"booters/internal/spool"
 )
 
@@ -102,6 +104,7 @@ func main() {
 	toFlag := flag.String("to", "", "replay only datagrams before this time")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers for -replay")
 	unordered := flag.Bool("unordered", false, "deliver segments as readers finish them through an order-tolerant pipeline (for -replay)")
+	scenarioFlag := flag.String("scenario", "", "replay a scenario workload: catalog name, config file, or list")
 	sinksFlag := flag.String("sinks", "", "extra sinks, comma-separated: topk, ndjson")
 	topKFlag := flag.Int("topk", 5, "rows kept by the topk sink")
 	ndjsonPath := flag.String("ndjson", "flows.ndjson", "output file for the ndjson sink")
@@ -117,6 +120,13 @@ func main() {
 			log.Fatalf("-pprof: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+	}
+
+	if *scenarioFlag == "list" {
+		for _, name := range scenario.Names() {
+			fmt.Printf("%-20s %s\n", name, scenario.Describe(name))
+		}
+		return
 	}
 
 	modes := 0
@@ -137,8 +147,16 @@ func main() {
 		if *replayWorkers != 1 {
 			log.Fatal("-replay-workers only applies to -replay")
 		}
-		if *unordered {
-			log.Fatal("-unordered only applies to -replay")
+		if *unordered && *scenarioFlag == "" {
+			log.Fatal("-unordered only applies to -replay (scenarios pick it themselves when their stream is reordered)")
+		}
+	}
+	if *scenarioFlag != "" {
+		if *replayDir != "" || *spoolInfo != "" {
+			log.Fatal("-scenario generates its own stream; it excludes -replay and -spool-info (record it with -record, then replay the spool)")
+		}
+		if *seed != 20191021 || *weeks != 12 || *attacks != 1000 {
+			log.Fatal("-seed/-weeks/-attacks only apply to the market-driven stream (the scenario config fixes the workload)")
 		}
 	}
 	if *recordDir == "" && *compress != "none" {
@@ -158,6 +176,28 @@ func main() {
 	}
 
 	start := time.Date(2018, time.July, 2, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, 7**weeks-1)
+
+	// Scenario mode: the config fixes the workload, span and ordering
+	// discipline; the run's manifest is verified after the pipeline
+	// closes.
+	var run *scenario.Run
+	if *scenarioFlag != "" {
+		cfg, err := scenario.Load(*scenarioFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if run, err = scenario.Generate(cfg); err != nil {
+			log.Fatal(err)
+		}
+		start, end = run.Config.Start, run.Config.End()
+		if run.RequiresUnordered() {
+			*unordered = true
+		}
+		m := run.Manifest
+		fmt.Printf("scenario %s: %d packets (%d attacks, %d scans) over %d weeks\n",
+			m.Name, len(run.Stream()), m.Attacks, m.Scans, m.Weeks)
+	}
 
 	// Info mode: print the spool's index without touching its blocks.
 	if *spoolInfo != "" {
@@ -171,7 +211,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		packets := generate(*seed, start, *weeks, *attacks)
+		var packets []honeypot.Packet
+		if run != nil {
+			packets = run.Stream()
+		} else {
+			packets = generate(*seed, start, *weeks, *attacks)
+		}
 		recordStart := time.Now()
 		w, err := spool.Create(*recordDir, spool.Options{Codec: codec, Metrics: obs.Default()})
 		if err != nil {
@@ -206,6 +251,17 @@ func main() {
 				float64(stored)/float64(w.Count()), float64(raw)/float64(w.Count()),
 				float64(stored)/float64(w.Count()))
 		}
+		if run != nil {
+			// scenario.json sits next to the spool's own MANIFEST so a
+			// later replay can re-verify the recorded ground truth.
+			if err := run.Manifest.WriteFile(filepath.Join(*recordDir, "scenario.json")); err != nil {
+				log.Fatal(err)
+			}
+			if run.RequiresUnordered() {
+				fmt.Println("replay with: booteringest -replay", *recordDir, "-unordered  (the recorded stream is reordered)")
+				return
+			}
+		}
 		fmt.Println("replay with: booteringest -replay", *recordDir)
 		return
 	}
@@ -233,11 +289,18 @@ func main() {
 			log.Fatalf("unknown sink %q (want topk or ndjson)", name)
 		}
 	}
+	// Mitigation scenarios carry a per-victim cap; attach the what-if
+	// sink so the run answers it and the manifest can check the answer.
+	var mitigation *scenario.MitigationSink
+	if run != nil && run.Config.Mitigation != nil {
+		mitigation = scenario.NewMitigationSink(run.Config.Mitigation.PerVictimWeekly)
+		sinks = append(sinks, mitigation)
+	}
 
 	in, err := ingest.New(ingest.Config{
 		Shards:     *shards,
 		Start:      start,
-		End:        start.AddDate(0, 0, 7**weeks-1),
+		End:        end,
 		QueueDepth: *queue,
 		Shed:       shed,
 		Sinks:      sinks,
@@ -281,21 +344,58 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		packets := generate(*seed, start, *weeks, *attacks)
-		replayStart = time.Now()
-		if *wire {
-			mode = "wire-format"
-			for _, d := range ingest.Datagrams(packets) {
-				fedCount.Add(1)
-				in.IngestDatagram(d)
+		var packets []honeypot.Packet
+		if run != nil {
+			packets = run.Stream()
+			if run.RequiresUnordered() {
+				mode = "scenario, unordered"
+			} else {
+				mode = "scenario"
 			}
 		} else {
-			for _, p := range packets {
+			packets = generate(*seed, start, *weeks, *attacks)
+		}
+		// A reordered scenario stream is a live out-of-order feed: its
+		// bounded displacement makes head-minus-lag a valid watermark.
+		var src *ingest.Source
+		var lag time.Duration
+		head := start
+		if run != nil && run.RequiresUnordered() {
+			src = in.RegisterSource()
+			lag = run.WatermarkLag()
+		}
+		advance := func(i int, t time.Time) {
+			if src == nil {
+				return
+			}
+			if t.After(head) {
+				head = t
+			}
+			if i&1023 == 1023 {
+				src.Advance(head.Add(-lag))
+			}
+		}
+		replayStart = time.Now()
+		if *wire {
+			if mode == "pre-decoded" {
+				mode = "wire-format"
+			}
+			for i, d := range ingest.Datagrams(packets) {
+				fedCount.Add(1)
+				in.IngestDatagram(d)
+				advance(i, d.Time)
+			}
+		} else {
+			for i, p := range packets {
 				fedCount.Add(1)
 				if err := in.Ingest(p); err != nil {
 					log.Fatal(err)
 				}
+				advance(i, p.Time)
 			}
+		}
+		if src != nil {
+			src.Close()
 		}
 	}
 	res, err := in.Close()
@@ -326,6 +426,52 @@ func main() {
 	}
 	fmt.Printf("flows: %d closed, %d attacks, %d scans, %d late, %d unattributed, %d out-of-span\n",
 		res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans, res.Stats.Late, res.Stats.Unattributed, res.Stats.OutOfSpan)
+
+	// Scenario runs are checked, not just timed: the weekly panel must
+	// equal the manifest's planned counts, the NB2 fit must recover every
+	// injected effect inside its tolerance, and a mitigation cap's
+	// admitted/mitigated split must match the recorded ground truth.
+	if run != nil {
+		m := run.Manifest
+		if err := m.VerifyPanel(res.Global); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nscenario %s: panel equals the planned weekly counts (%d weeks)\n", m.Name, m.Weeks)
+		assert := false
+		for _, e := range m.Effects {
+			if e.CoefTolerance > 0 {
+				assert = true
+			}
+		}
+		if assert {
+			model, err := m.Fit(res.Global)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := m.VerifyFit(model); err != nil {
+				log.Fatal(err)
+			}
+			for _, e := range m.Effects {
+				got, err := model.Effect(e.Name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("effect %s: fitted %.4f vs injected %.4f (tolerance %.3f) — recovered\n",
+					e.Name, got.Coef.Estimate, e.ExpectedCoef, e.CoefTolerance)
+			}
+		}
+		if mitigation != nil {
+			mres := mitigation.Result()
+			mt := m.Mitigation
+			if mres.AttacksAdmitted != mt.ExpectedAdmitted || mres.AttacksMitigated != mt.ExpectedMitigated {
+				log.Fatalf("mitigation cap %d: admitted %d / mitigated %d, manifest says %d / %d",
+					mt.PerVictimWeekly, mres.AttacksAdmitted, mres.AttacksMitigated,
+					mt.ExpectedAdmitted, mt.ExpectedMitigated)
+			}
+			fmt.Printf("mitigation cap %d/victim/week: %d admitted, %d mitigated — matches the manifest\n",
+				mt.PerVictimWeekly, mres.AttacksAdmitted, mres.AttacksMitigated)
+		}
+	}
 	if res.Stats.Shed > 0 {
 		fmt.Printf("shed: %d packets dropped (%v policy), by sensor:", res.Stats.Shed, shed)
 		sensors := make([]int, 0, len(res.Stats.ShedBySensor))

@@ -8,13 +8,16 @@
 // Usage:
 //
 //	bootersensor -collector HOST:PORT [-token TOK] [-sensor N]
-//	             [-spool DIR | -seed N -weeks N -attacks N]
+//	             [-spool DIR | -scenario NAME|FILE | -seed N -weeks N -attacks N]
 //	             [-batch N] [-heartbeat DUR] [-linger DUR]
 //	             [-pprof ADDR] [-progress DUR]
 //
 // -spool DIR ships an existing spool directory (recorded with
 // booterserve -record, booteringest -record, or bootersensor itself on
-// an earlier run); without it the synthetic stream described by
+// an earlier run); -scenario NAME|FILE ships a scenario workload from
+// the internal/scenario catalog (docs/SCENARIOS.md) so a collector can
+// verify intervention-fit recovery against the scenario's ground truth;
+// without either, the synthetic stream described by
 // -seed/-weeks/-attacks is generated in memory and shipped. Connection
 // loss redials with exponential backoff and resumes exactly from the
 // collector's last acknowledged offset, so interrupting and restarting
@@ -33,6 +36,7 @@ import (
 
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/scenario"
 	"booters/internal/wire"
 )
 
@@ -41,13 +45,15 @@ const usageText = `bootersensor ships a reflected-UDP record stream to a collect
 protocol: batches carry spool-format records, acks are cumulative record
 offsets, and a reconnect resumes exactly where the collector's last ack
 left off — no loss, no duplication. The stream is an existing spool
-directory (-spool) or a synthetic market-driven stream generated in
-memory (-seed/-weeks/-attacks).
+directory (-spool), a scenario workload with recorded ground truth
+(-scenario, see docs/SCENARIOS.md; list prints the catalog), or a
+synthetic market-driven stream generated in memory
+(-seed/-weeks/-attacks).
 
 Usage:
 
   bootersensor -collector HOST:PORT [-token TOK] [-sensor N]
-               [-spool DIR | -seed N -weeks N -attacks N]
+               [-spool DIR | -scenario NAME|FILE | -seed N -weeks N -attacks N]
                [-batch N] [-heartbeat DUR] [-linger DUR]
                [-pprof ADDR] [-progress DUR]
 
@@ -66,6 +72,7 @@ func main() {
 	token := flag.String("token", "", "shared secret presented in the handshake")
 	sensorID := flag.Uint("sensor", 1, "sensor ID; the collector keys resume offsets by it")
 	spoolDir := flag.String("spool", "", "ship this recorded spool directory instead of a generated stream")
+	scenarioFlag := flag.String("scenario", "", "ship a scenario workload: catalog name, config file, or list")
 	seed := flag.Int64("seed", 20191021, "stream generator seed")
 	weeks := flag.Int("weeks", 4, "generated stream length in weeks")
 	attacks := flag.Float64("attacks", 500, "mean attack flows per week")
@@ -76,6 +83,12 @@ func main() {
 	progressEvery := flag.Duration("progress", 0, "emit a structured progress line to stderr this often (0 = off)")
 	flag.Parse()
 
+	if *scenarioFlag == "list" {
+		for _, name := range scenario.Names() {
+			fmt.Printf("%-20s %s\n", name, scenario.Describe(name))
+		}
+		return
+	}
 	if *collector == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -87,8 +100,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
 	}
-	if *spoolDir != "" && (*weeks != 4 || *attacks != 500) {
-		log.Fatal("-weeks/-attacks only apply to generated streams (the spool fixes the workload)")
+	if (*spoolDir != "" || *scenarioFlag != "") && (*weeks != 4 || *attacks != 500) {
+		log.Fatal("-weeks/-attacks only apply to generated streams (the spool or scenario fixes the workload)")
+	}
+	if *spoolDir != "" && *scenarioFlag != "" {
+		log.Fatal("-spool and -scenario are mutually exclusive")
 	}
 
 	var feed wire.Feed
@@ -96,6 +112,22 @@ func main() {
 		sf := wire.NewSpoolFeed(*spoolDir)
 		defer sf.Close()
 		feed = sf
+	} else if *scenarioFlag != "" {
+		cfg, err := scenario.Load(*scenarioFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		genStart := time.Now()
+		run, err := scenario.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := run.Manifest
+		fmt.Printf("scenario %s: %d packets (%d attacks, %d scans) over %d weeks in %v\n",
+			m.Name, len(run.Stream()), m.Attacks, m.Scans, m.Weeks, time.Since(genStart).Round(time.Millisecond))
+		fmt.Printf("collector panel should span %s + %d weeks (booterserve -listen ... -scenario %s)\n",
+			run.Config.Start.Format("2006-01-02"), m.Weeks, *scenarioFlag)
+		feed = wire.NewSliceFeed(ingest.Datagrams(run.Stream()))
 	} else {
 		genStart := time.Now()
 		packets, err := ingest.SyntheticStream(ingest.StreamConfig{

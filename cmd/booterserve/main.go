@@ -9,8 +9,8 @@
 //
 //	booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
 //	            [-record DIR [-compress CODEC] | -replay DIR | -listen HOST:PORT]
-//	            [-wire-token TOK] [-replay-workers N] [-throttle PPS]
-//	            [-exit-after-replay] [-pprof ADDR] [-progress DUR]
+//	            [-wire-token TOK] [-scenario NAME|FILE] [-replay-workers N]
+//	            [-throttle PPS] [-exit-after-replay] [-pprof ADDR] [-progress DUR]
 //
 // Without a spool flag the generated stream is fed straight to the
 // pipeline. -record DIR spools the generated stream to disk first and
@@ -32,7 +32,12 @@
 // per-sensor time order but interleave arbitrarily — and sensors that
 // disconnect resume exactly from their last acknowledged record.
 // Interrupt to stop: the collector drains, the pipeline closes, and the
-// final panel is published and self-checked.
+// final panel is published and self-checked. -scenario NAME|FILE tells
+// the collector which scenario workload the sensor fleet is shipping
+// (bootersensor -scenario, docs/SCENARIOS.md): the panel span and the
+// /v1/model intervention catalogue come from the scenario manifest, and
+// the final self-check asserts the served model fit recovers the
+// injected effects — failing the process if it does not.
 //
 // The whole pipeline is instrumented through internal/obs: /v1/metrics
 // serves the Prometheus text exposition (ingest, spool, serving and
@@ -46,10 +51,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -61,6 +68,8 @@ import (
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/scenario"
+	"booters/internal/serve"
 	"booters/internal/spool"
 )
 
@@ -80,13 +89,16 @@ Usage:
 
   booterserve [-addr HOST:PORT] [-seed N] [-shards N] [-weeks N] [-attacks N]
               [-record DIR [-compress CODEC] | -replay DIR | -listen HOST:PORT]
-              [-wire-token TOK] [-replay-workers N] [-throttle PPS]
-              [-exit-after-replay] [-pprof ADDR] [-progress DUR]
+              [-wire-token TOK] [-scenario NAME|FILE] [-replay-workers N]
+              [-throttle PPS] [-exit-after-replay] [-pprof ADDR] [-progress DUR]
 
 -listen turns the process into a collector: networked sensors
 (bootersensor) ship record batches over the framed session protocol of
 docs/WIRE_PROTOCOL.md, authenticated with -wire-token, resumable after
-disconnects, while the panel they feed is served live.
+disconnects, while the panel they feed is served live. -scenario sizes
+the collector to a scenario workload (docs/SCENARIOS.md) and makes the
+final self-check assert that /v1/model recovers the scenario's injected
+intervention effects.
 
 Endpoints: /v1/status /v1/panel /v1/series /v1/top /v1/model /v1/spool
 /v1/metrics (Prometheus text exposition)
@@ -112,6 +124,7 @@ func main() {
 	replayDir := flag.String("replay", "", "replay an existing spool from this directory")
 	listen := flag.String("listen", "", "collector mode: accept networked sensor sessions on this address")
 	wireToken := flag.String("wire-token", "", "shared secret sensors must present (collector mode)")
+	scenarioFlag := flag.String("scenario", "", "collector mode: expect this scenario workload and verify /v1/model recovers its injected effects")
 	replayWorkers := flag.Int("replay-workers", 1, "concurrent spool segment readers")
 	throttle := flag.Float64("throttle", 0, "pace ingestion to about this many packets/sec (0 = full speed)")
 	exitAfter := flag.Bool("exit-after-replay", false, "exit after the stream ends instead of serving until interrupt")
@@ -136,8 +149,11 @@ func main() {
 	if *wireToken != "" && *listen == "" {
 		log.Fatal("-wire-token only applies to collector mode (-listen)")
 	}
+	if *scenarioFlag != "" && *listen == "" {
+		log.Fatal("-scenario only applies to collector mode (-listen); feed scenarios locally with booteringest -scenario")
+	}
 	if *listen != "" {
-		collectorMode(*listen, *wireToken, *addr, *shards, *weeks, *progressEvery)
+		collectorMode(*listen, *wireToken, *addr, *shards, *weeks, *progressEvery, *scenarioFlag)
 		return
 	}
 	if *replayDir != "" && (*weeks != 52 || *attacks != 500) {
@@ -283,9 +299,29 @@ func main() {
 // collector accepting bootersensor sessions on listenAddr, feeding an
 // order-tolerant rolling pipeline whose panel is served on addr until
 // interrupt. On interrupt the collector drains, the pipeline closes and
-// the final panel is published and self-checked.
-func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEvery time.Duration) {
+// the final panel is published and self-checked. With a scenario spec
+// the panel span and the /v1/model intervention catalogue come from the
+// scenario's manifest, and the self-check additionally asserts over real
+// HTTP that the model fit recovers every injected effect inside its
+// tolerance — the networked end of the scenario regression loop.
+func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEvery time.Duration, scenarioSpec string) {
 	start := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
+	var manifest *scenario.Manifest
+	if scenarioSpec != "" {
+		cfg, err := scenario.Load(scenarioSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := scenario.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		manifest = run.Manifest
+		start = run.Config.Start
+		weeks = manifest.Weeks
+		fmt.Printf("scenario %s: expecting %d packets (%d attacks) over %d weeks\n",
+			manifest.Name, manifest.Packets, manifest.Attacks, weeks)
+	}
 	in, err := ingest.New(ingest.Config{
 		Shards:    shards,
 		Start:     start,
@@ -297,7 +333,12 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := booters.Serve(in, addr)
+	var srv *serve.Server
+	if manifest != nil {
+		srv, err = booters.ServeScenario(in, addr, manifest)
+	} else {
+		srv, err = booters.Serve(in, addr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -346,6 +387,59 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 		}
 		fmt.Printf("self-check %s: %s\n", path, body)
 	}
+	if manifest != nil {
+		if err := manifest.VerifyPanel(res.Global); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario %s: collected panel equals the planned weekly counts (%d weeks)\n",
+			manifest.Name, manifest.Weeks)
+		if err := verifyModelHTTP(srv.Addr(), manifest); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// verifyModelHTTP asserts over real HTTP that the served /v1/model fit
+// over the scenario span recovers every effect the manifest stakes a
+// tolerance on: the fitted percent change is folded back to the log
+// coefficient and compared against the injected ground truth.
+func verifyModelHTTP(addr string, m *scenario.Manifest) error {
+	from, to := m.Window()
+	path := fmt.Sprintf("/v1/model?from=%s&to=%s", from.Format("2006-01-02"), to.Format("2006-01-02"))
+	body, err := get(addr, path)
+	if err != nil {
+		return fmt.Errorf("scenario model check %s: %w", path, err)
+	}
+	var fit struct {
+		Effects []struct {
+			Name    string  `json:"name"`
+			Percent float64 `json:"percent"`
+		} `json:"effects"`
+	}
+	if err := json.Unmarshal(body, &fit); err != nil {
+		return fmt.Errorf("scenario model check: decode %s: %w", path, err)
+	}
+	fitted := make(map[string]float64, len(fit.Effects))
+	for _, e := range fit.Effects {
+		fitted[e.Name] = e.Percent
+	}
+	for _, want := range m.Effects {
+		if want.CoefTolerance <= 0 {
+			continue
+		}
+		pct, ok := fitted[want.Name]
+		if !ok {
+			return fmt.Errorf("scenario model check: /v1/model fit has no effect %q", want.Name)
+		}
+		coef := math.Log(1 + pct/100)
+		if diff := math.Abs(coef - want.ExpectedCoef); diff > want.CoefTolerance {
+			return fmt.Errorf("scenario model check: effect %q: served fit %.4f vs injected %.4f (|diff| %.4f > tolerance %.4f)",
+				want.Name, coef, want.ExpectedCoef, diff, want.CoefTolerance)
+		}
+		fmt.Printf("self-check %s: effect %s %.1f%% — recovers the injected %.1f%% within tolerance\n",
+			path, want.Name, pct, want.ExpectedMeanPct)
+	}
+	return nil
 }
 
 // indexSpan returns the earliest and latest indexed record timestamps in

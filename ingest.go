@@ -8,6 +8,7 @@ import (
 	"booters/internal/dataset"
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
+	"booters/internal/its"
 	"booters/internal/protocols"
 	"booters/internal/serve"
 	"booters/internal/spool"
@@ -83,12 +84,21 @@ func Serve(in *ingest.Ingestor, addr string) (*serve.Server, error) {
 // server's /v1/spool endpoint reports the segment index of the capture
 // being recorded or replayed alongside the live panel ("" disables it).
 func ServeSpool(in *ingest.Ingestor, addr, spoolDir string) (*serve.Server, error) {
+	return serveWith(in, addr, spoolDir, Table1Interventions())
+}
+
+// serveWith is the shared serving harness: bind, subscribe to the
+// pipeline's snapshot feed, seed with the current snapshot. The
+// intervention catalogue parameterises /v1/model fits — the paper's
+// Table 1 for real spans, a scenario manifest's injected effects for
+// scenario runs (ServeScenario).
+func serveWith(in *ingest.Ingestor, addr, spoolDir string, ivs []its.Intervention) (*serve.Server, error) {
 	if !in.Rolling() {
 		return nil, errors.New("booters: Serve requires a rolling ingestor (NewRollingIngestor or ingest.Config.Rolling)")
 	}
 	srv := serve.New(serve.Config{
 		Ingest:        in,
-		Interventions: Table1Interventions(),
+		Interventions: ivs,
 		SpoolDir:      spoolDir,
 		// Fold the server's HTTP/model-cache families into the pipeline's
 		// registry (when the ingestor carries one), so one /v1/metrics

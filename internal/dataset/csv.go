@@ -134,3 +134,43 @@ func LoadPanelCSV(r io.Reader) (*Panel, error) {
 	}
 	return p, nil
 }
+
+// WriteSelfReportCSV writes the booter self-report panel as CSV with one
+// row per site-week observation: week start date, booter name, up flag
+// (1/0), and the published lifetime attack counter. Both the bundled
+// generator panel and a panel rebuilt from a streaming scrape source
+// export through this one writer, which is what makes their outputs
+// comparable byte for byte.
+func WriteSelfReportCSV(w io.Writer, sr *SelfReportPanel) error {
+	if _, err := io.WriteString(w, "week,booter,up,total\n"); err != nil {
+		return fmt.Errorf("dataset: write self-report header: %w", err)
+	}
+	for _, h := range sr.Sites {
+		for _, o := range h.Obs {
+			up := 0
+			if o.Up {
+				up = 1
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%.0f\n",
+				sr.Start.Start.AddDate(0, 0, 7*o.Week).Format("2006-01-02"), h.Name, up, o.Total); err != nil {
+				return fmt.Errorf("dataset: write self-report row: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteChurnCSV writes the self-report panel's weekly churn series as
+// CSV: week start date, births, deaths, resurrections.
+func WriteChurnCSV(w io.Writer, sr *SelfReportPanel) error {
+	if _, err := io.WriteString(w, "week,births,deaths,resurrections\n"); err != nil {
+		return fmt.Errorf("dataset: write churn header: %w", err)
+	}
+	for _, c := range sr.Churn {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d\n",
+			sr.Start.Start.AddDate(0, 0, 7*c.Week).Format("2006-01-02"), c.Births, c.Deaths, c.Resurrections); err != nil {
+			return fmt.Errorf("dataset: write churn row: %w", err)
+		}
+	}
+	return nil
+}

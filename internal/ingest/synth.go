@@ -94,7 +94,7 @@ func SyntheticStream(cfg StreamConfig) ([]honeypot.Packet, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tbl := geo.NewTable()
-	countries, weights := countryWeights()
+	countries, weights := CountryWeights()
 	var packets []honeypot.Packet
 
 	for w := 0; w < cfg.Weeks; w++ {
@@ -109,7 +109,7 @@ func SyntheticStream(cfg StreamConfig) ([]honeypot.Packet, error) {
 			if err != nil {
 				return nil, err
 			}
-			proto := pickProtocol(rng, c, mid)
+			proto := PickProtocol(rng, c, mid)
 			packets = appendAttackFlow(packets, rng, weekStart, victim, proto, sensors)
 		}
 		for i := 0; i < scansPerWeek; i++ {
@@ -118,7 +118,7 @@ func SyntheticStream(cfg StreamConfig) ([]honeypot.Packet, error) {
 			if err != nil {
 				return nil, err
 			}
-			proto := pickProtocol(rng, c, mid)
+			proto := PickProtocol(rng, c, mid)
 			t := weekStart.Add(time.Duration(rng.Int63n(int64(6 * 24 * time.Hour))))
 			packets = append(packets, honeypot.Packet{
 				Time:   t,
@@ -129,7 +129,7 @@ func SyntheticStream(cfg StreamConfig) ([]honeypot.Packet, error) {
 			})
 		}
 	}
-	sortStream(packets)
+	SortStream(packets)
 	return packets, nil
 }
 
@@ -158,9 +158,12 @@ func appendAttackFlow(packets []honeypot.Packet, rng *rand.Rand, weekStart time.
 	return packets
 }
 
-// countryWeights returns the victim-country mix (the paper's Table 3
-// skew: the US dominates, with a long tail).
-func countryWeights() ([]string, []float64) {
+// CountryWeights returns the victim-country mix (the paper's Table 3
+// skew: the US dominates, with a long tail) as parallel name and weight
+// slices for weighted draws. Stream generators — SyntheticStream here,
+// the scenario engine in internal/scenario — share it so every workload
+// carries the same country skew.
+func CountryWeights() ([]string, []float64) {
 	countries := geo.Countries()
 	weights := make([]float64, len(countries))
 	for i, c := range countries {
@@ -204,9 +207,9 @@ func pickWeighted(rng *rand.Rand, names []string, weights []float64) string {
 	return names[pickWeightedIndex(rng, weights)]
 }
 
-// pickProtocol draws an amplification protocol from the popularity mix at
+// PickProtocol draws an amplification protocol from the popularity mix at
 // time t (the China-specific mix for Chinese victims).
-func pickProtocol(rng *rand.Rand, country string, t time.Time) protocols.Protocol {
+func PickProtocol(rng *rand.Rand, country string, t time.Time) protocols.Protocol {
 	all := protocols.All()
 	weights := make([]float64, len(all))
 	for i, p := range all {
@@ -219,9 +222,9 @@ func pickProtocol(rng *rand.Rand, country string, t time.Time) protocols.Protoco
 	return all[pickWeightedIndex(rng, weights)]
 }
 
-// sortStream time-orders the packets, breaking ties by victim, protocol
-// then sensor so the stream is deterministic.
-func sortStream(packets []honeypot.Packet) {
+// SortStream time-orders the packets in place, breaking ties by victim,
+// protocol then sensor so the stream is deterministic.
+func SortStream(packets []honeypot.Packet) {
 	sort.Slice(packets, func(i, j int) bool {
 		a, b := packets[i], packets[j]
 		if !a.Time.Equal(b.Time) {

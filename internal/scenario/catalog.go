@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// catalogStart anchors every named scenario: a Monday, placed so that any
+// span of MinFitWeeks or more covers all twelve calendar months and the
+// 2018 Easter window — the full-rank requirement of the NB2 seasonal
+// design.
+var catalogStart = time.Date(2017, time.July, 3, 0, 0, 0, 0, time.UTC)
+
+// catalogEntry is one named scenario plus the one-line blurb the CLIs
+// print for -scenario list.
+type catalogEntry struct {
+	blurb string
+	cfg   Config
+}
+
+// catalog is the named scenario library. Each entry is a ready-to-run
+// Config: the recovery fixtures (takedown-*, flash-sale) carry analytic
+// ground truth the NB2 fit must reproduce; the rest exercise market
+// dynamics, mitigation accounting and hostile inputs.
+//
+// The takedown fixtures span two full years (104 weeks) rather than the
+// MinFitWeeks floor: with a ramped (migration) effect, a month that
+// occurs only inside the effect window makes its seasonal dummy
+// quasi-collinear with the intervention dummy and the seasonal soaks up
+// the ramp's deep end — two years puts every month on both sides of
+// every window, which is what keeps the recovered coefficient pinned to
+// the injected one.
+var catalog = map[string]catalogEntry{
+	"takedown-sharp": {
+		blurb: "one coordinated takedown, 55% drop held for 8 weeks — the exact-recovery fixture",
+		cfg: Config{
+			Name:            "takedown-sharp",
+			Seed:            1,
+			Start:           catalogStart,
+			Weeks:           104,
+			BaselineAttacks: 150,
+			TrendPerWeek:    0.002,
+			Takedowns: []Takedown{
+				{Name: "Takedown", Week: 40, Weeks: 8, DropPct: 55},
+			},
+			SelfReport: &SelfReportSpec{},
+		},
+	},
+	"takedown-migration": {
+		blurb: "50% drop with attackers migrating back to survivors, 60% recovered by week 10 (Kopp et al.)",
+		cfg: Config{
+			Name:            "takedown-migration",
+			Seed:            2,
+			Start:           catalogStart,
+			Weeks:           104,
+			BaselineAttacks: 150,
+			TrendPerWeek:    0.002,
+			Takedowns: []Takedown{
+				{Name: "Takedown", Week: 38, Weeks: 10, DropPct: 50, MigrationPct: 60},
+			},
+		},
+	},
+	"takedown-wave": {
+		blurb: "two takedown waves under Poisson count noise — the second hits the survivors",
+		cfg: Config{
+			Name:            "takedown-wave",
+			Seed:            3,
+			Start:           catalogStart,
+			Weeks:           104,
+			BaselineAttacks: 170,
+			TrendPerWeek:    0.0015,
+			Noise:           NoisePoisson,
+			Takedowns: []Takedown{
+				{Name: "WaveA", Week: 30, Weeks: 6, DropPct: 45, MigrationPct: 40},
+				{Name: "WaveB", Week: 68, Weeks: 6, DropPct: 60},
+			},
+		},
+	},
+	"flash-sale": {
+		blurb: "a takedown composed with an 80% promotional burst (Karami et al.'s flash sales)",
+		cfg: Config{
+			Name:            "flash-sale",
+			Seed:            4,
+			Start:           catalogStart,
+			Weeks:           56,
+			BaselineAttacks: 140,
+			TrendPerWeek:    0.002,
+			Takedowns: []Takedown{
+				{Name: "Takedown", Week: 12, Weeks: 6, DropPct: 40},
+			},
+			FlashSales: []FlashSale{
+				{Name: "FlashSale", Week: 30, Weeks: 2, BoostPct: 80},
+			},
+		},
+	},
+	"market-churn": {
+		blurb: "market-simulated volume (churn, capacity caps) with a takedown as a supply shock, plus the self-report scrape stream",
+		cfg: Config{
+			Name:            "market-churn",
+			Seed:            5,
+			Start:           catalogStart,
+			Weeks:           56,
+			BaselineAttacks: 150,
+			Market:          &MarketDynamics{},
+			Takedowns: []Takedown{
+				{Name: "Takedown", Week: 24, Weeks: 8, DropPct: 50},
+			},
+			SelfReport: &SelfReportSpec{},
+		},
+	},
+	"mitigation-cap": {
+		blurb: "pooled victims under a MiddlePolice-style per-victim cap of 3 admitted attacks/week",
+		cfg: Config{
+			Name:            "mitigation-cap",
+			Seed:            6,
+			Start:           catalogStart,
+			Weeks:           26,
+			BaselineAttacks: 120,
+			VictimPool:      30,
+			Mitigation:      &MitigationSpec{PerVictimWeekly: 3},
+		},
+	},
+	"hostile-flood": {
+		blurb: "25% duplicated packets, 120s bounded reordering, ±45s sensor clock skew — panel must equal the clean run",
+		cfg: Config{
+			Name:            "hostile-flood",
+			Seed:            7,
+			Start:           catalogStart,
+			Weeks:           20,
+			BaselineAttacks: 150,
+			Hostile:         &HostileSpec{DuplicatePct: 25, ReorderSeconds: 120, SkewSeconds: 45},
+		},
+	},
+}
+
+// Names returns the catalog's scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the catalog scenario's one-line blurb, or "" for an
+// unknown name.
+func Describe(name string) string { return catalog[name].blurb }
+
+// Catalog returns the named catalog scenario's Config.
+func Catalog(name string) (Config, bool) {
+	e, ok := catalog[name]
+	return e.cfg, ok
+}
+
+// ParseConfig decodes a JSON scenario config (the format documented in
+// docs/SCENARIOS.md). Unknown fields are rejected — a typoed primitive
+// name must not silently generate a different workload.
+func ParseConfig(b []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("scenario: config: %w", err)
+	}
+	return cfg, nil
+}
+
+// Load resolves a -scenario argument: a catalog name, or the path of a
+// JSON config file. The returned Config is not yet validated; Generate
+// validates and fills defaults.
+func Load(spec string) (Config, error) {
+	if cfg, ok := Catalog(spec); ok {
+		return cfg, nil
+	}
+	b, err := os.ReadFile(spec)
+	if err != nil {
+		if os.IsNotExist(err) && !strings.ContainsAny(spec, "/.\\") {
+			return Config{}, fmt.Errorf("scenario: %q is neither a catalog scenario (%s) nor a readable config file", spec, strings.Join(Names(), ", "))
+		}
+		return Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	cfg, err := ParseConfig(b)
+	if err != nil {
+		return Config{}, fmt.Errorf("%s: %w", spec, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,335 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"booters/internal/honeypot"
+)
+
+// testStart is a Monday (the catalog anchor).
+var testStart = time.Date(2017, time.July, 3, 0, 0, 0, 0, time.UTC)
+
+// smallConfig is a fast scenario for unit tests that don't need a
+// fit-worthy span.
+func smallConfig() Config {
+	return Config{
+		Name:            "unit",
+		Seed:            42,
+		Start:           testStart,
+		Weeks:           6,
+		BaselineAttacks: 40,
+	}
+}
+
+func TestWithDefaultsValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero weeks", func(c *Config) { c.Weeks = 0 }, "Weeks must be positive"},
+		{"no start", func(c *Config) { c.Start = time.Time{} }, "Start is required"},
+		{"bad noise", func(c *Config) { c.Noise = "gaussian" }, "unknown noise kind"},
+		{"negative pool", func(c *Config) { c.VictimPool = -1 }, "VictimPool"},
+		{"unnamed takedown", func(c *Config) { c.Takedowns = []Takedown{{Week: 1, Weeks: 2, DropPct: 50}} }, "needs a name"},
+		{"takedown outside span", func(c *Config) { c.Takedowns = []Takedown{{Name: "T", Week: 4, Weeks: 4, DropPct: 50}} }, "outside the 6-week span"},
+		{"takedown full drop", func(c *Config) { c.Takedowns = []Takedown{{Name: "T", Week: 1, Weeks: 2, DropPct: 100}} }, "DropPct"},
+		{"migration over 100", func(c *Config) {
+			c.Takedowns = []Takedown{{Name: "T", Week: 1, Weeks: 2, DropPct: 50, MigrationPct: 120}}
+		}, "MigrationPct"},
+		{"unnamed sale", func(c *Config) { c.FlashSales = []FlashSale{{Week: 1, Weeks: 1, BoostPct: 50}} }, "needs a name"},
+		{"sale boost", func(c *Config) { c.FlashSales = []FlashSale{{Name: "S", Week: 1, Weeks: 1}} }, "BoostPct"},
+		{"mitigation without pool", func(c *Config) { c.Mitigation = &MitigationSpec{PerVictimWeekly: 2} }, "requires VictimPool"},
+		{"mitigation cap", func(c *Config) { c.VictimPool = 10; c.Mitigation = &MitigationSpec{} }, "PerVictimWeekly"},
+		{"skew bound", func(c *Config) { c.Hostile = &HostileSpec{SkewSeconds: maxSkewSeconds + 1} }, "SkewSeconds"},
+		{"reorder bound", func(c *Config) { c.Hostile = &HostileSpec{ReorderSeconds: maxReorderSeconds + 1} }, "ReorderSeconds"},
+		{"duplicate bound", func(c *Config) { c.Hostile = &HostileSpec{DuplicatePct: 101} }, "DuplicatePct"},
+		{"self-report share", func(c *Config) { c.SelfReport = &SelfReportSpec{Share: 1.5} }, "Share"},
+	}
+	for _, tc := range bad {
+		cfg := smallConfig()
+		tc.mut(&cfg)
+		if _, err := cfg.withDefaults(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got error %v, want one containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Defaults fill, and Start normalises to its week's Monday.
+	cfg := smallConfig()
+	cfg.Start = testStart.AddDate(0, 0, 3) // a Thursday
+	got, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatalf("withDefaults: %v", err)
+	}
+	if !got.Start.Equal(testStart) {
+		t.Errorf("Start not normalised to Monday: %v", got.Start)
+	}
+	if got.Sensors != 8 || got.ScansPerWeek != 10 {
+		t.Errorf("defaults: Sensors=%d ScansPerWeek=%d", got.Sensors, got.ScansPerWeek)
+	}
+	cfg = smallConfig()
+	cfg.SelfReport = &SelfReportSpec{}
+	if got, err = cfg.withDefaults(); err != nil || got.SelfReport.Share != 0.8 {
+		t.Errorf("SelfReport default share: %+v, %v", got.SelfReport, err)
+	}
+}
+
+func TestPlanMath(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BaselineAttacks = 100
+	cfg.Takedowns = []Takedown{{Name: "T", Week: 2, Weeks: 3, DropPct: 50, MigrationPct: 100}}
+	cfg.FlashSales = []FlashSale{{Name: "S", Week: 5, Weeks: 1, BoostPct: 80}}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := cfg.plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ramp with full migration over 3 weeks: multipliers 0.5, 0.75, 1.0.
+	want := []float64{100, 100, 50, 75, 100, 180}
+	if !reflect.DeepEqual(planned, want) {
+		t.Errorf("plan = %v, want %v", planned, want)
+	}
+
+	// The multiplier outside the window is exactly 1.
+	td := cfg.Takedowns[0]
+	if td.multiplier(1) != 1 || td.multiplier(5) != 1 {
+		t.Errorf("multiplier outside window: %v, %v", td.multiplier(1), td.multiplier(5))
+	}
+	// No migration holds the full drop across the window.
+	hold := Takedown{Name: "H", Week: 0, Weeks: 4, DropPct: 40}
+	for w := 0; w < 4; w++ {
+		if m := hold.multiplier(w); math.Abs(m-0.6) > 1e-12 {
+			t.Errorf("hold multiplier week %d = %v, want 0.6", w, m)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Hostile = &HostileSpec{DuplicatePct: 20, ReorderSeconds: 60, SkewSeconds: 30}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Packets, b.Packets) {
+		t.Error("same config generated different clean streams")
+	}
+	if !reflect.DeepEqual(a.Hostile, b.Hostile) {
+		t.Error("same config generated different hostile streams")
+	}
+	aj, _ := a.Manifest.JSON()
+	bj, _ := b.Manifest.JSON()
+	if !bytes.Equal(aj, bj) {
+		t.Error("same config generated different manifests")
+	}
+
+	cfg.Seed++
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Packets, c.Packets) {
+		t.Error("different seeds generated identical streams")
+	}
+
+	// The clean stream is time-sorted; the reordered twin is not, and the
+	// run says so.
+	for i := 1; i < len(a.Packets); i++ {
+		if a.Packets[i].Time.Before(a.Packets[i-1].Time) {
+			t.Fatalf("clean stream unsorted at %d", i)
+		}
+	}
+	if !a.RequiresUnordered() {
+		t.Error("reordered run must require an unordered pipeline")
+	}
+	if lag := a.WatermarkLag(); lag < 60*time.Second {
+		t.Errorf("WatermarkLag %v under the reorder bound", lag)
+	}
+	if len(a.SensorSkew) != a.Config.Sensors {
+		t.Errorf("SensorSkew has %d offsets, want %d", len(a.SensorSkew), a.Config.Sensors)
+	}
+}
+
+func TestCatalogGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog generation is seconds of work")
+	}
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("catalog has %d scenarios, want >= 6", len(names))
+	}
+	for _, name := range names {
+		cfg, ok := Catalog(name)
+		if !ok {
+			t.Fatalf("Catalog(%q) missing", name)
+		}
+		if cfg.Name != name {
+			t.Errorf("catalog %q has Name %q", name, cfg.Name)
+		}
+		if Describe(name) == "" {
+			t.Errorf("catalog %q has no blurb", name)
+		}
+		run, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		m := run.Manifest
+		if m.Packets != len(run.Packets) || m.Weeks != cfg.Weeks {
+			t.Errorf("%s: manifest totals %d/%d vs run %d/%d", name, m.Packets, m.Weeks, len(run.Packets), cfg.Weeks)
+		}
+		var total float64
+		for _, v := range m.PlannedWeekly {
+			total += v
+		}
+		if int(total) != m.Attacks {
+			t.Errorf("%s: planned panel sums to %v, manifest says %d attacks", name, total, m.Attacks)
+		}
+		// Analytic recovery fixtures must assert a tolerance on every effect.
+		if cfg.Market == nil {
+			for _, e := range m.Effects {
+				if e.CoefTolerance <= 0 {
+					t.Errorf("%s: effect %q has no recovery tolerance", name, e.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	if _, err := Load("takedown-sharp"); err != nil {
+		t.Fatalf("catalog load: %v", err)
+	}
+	if _, err := Load("no-such-scenario"); err == nil || !strings.Contains(err.Error(), "neither a catalog scenario") {
+		t.Fatalf("unknown name: %v", err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.json")
+	body := `{"name":"custom","seed":9,"start":"2017-07-03T00:00:00Z","weeks":8,
+		"takedowns":[{"name":"T","week":2,"weeks":3,"drop_pct":50}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatalf("file load: %v", err)
+	}
+	if cfg.Name != "custom" || len(cfg.Takedowns) != 1 || cfg.Takedowns[0].DropPct != 50 {
+		t.Errorf("file load decoded %+v", cfg)
+	}
+
+	// Unknown fields are config bugs, not extensions.
+	bad := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(bad, []byte(`{"name":"x","weeks":8,"takedown":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("typoed config: %v", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Weeks = 8
+	cfg.Takedowns = []Takedown{{Name: "T", Week: 2, Weeks: 3, DropPct: 50, CoefTolerance: 0.07}}
+	run, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := run.Manifest.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := run.Manifest.JSON()
+	gotJSON, _ := got.JSON()
+	if !bytes.Equal(want, gotJSON) {
+		t.Errorf("manifest did not round-trip:\n%s\nvs\n%s", want, gotJSON)
+	}
+	if got.Effects[0].CoefTolerance != 0.07 {
+		t.Errorf("explicit tolerance lost: %v", got.Effects[0].CoefTolerance)
+	}
+	ivs := got.Interventions()
+	if len(ivs) != 1 || !ivs[0].Start.Equal(testStart.AddDate(0, 0, 14)) || ivs[0].Weeks != 3 {
+		t.Errorf("Interventions = %+v", ivs)
+	}
+	if end := got.End(); !end.Equal(testStart.AddDate(0, 0, 7*8-1)) {
+		t.Errorf("End = %v", end)
+	}
+}
+
+func TestHostileTransformBounds(t *testing.T) {
+	cfg := smallConfig()
+	run, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	// Duplicate inserts copies adjacent to originals.
+	dup := Duplicate(run.Packets, rng, 30)
+	if len(dup) <= len(run.Packets) {
+		t.Fatalf("Duplicate added nothing at 30%%")
+	}
+	extra := 0
+	for i := 1; i < len(dup); i++ {
+		if dup[i] == dup[i-1] {
+			extra++
+		}
+	}
+	if extra < len(dup)-len(run.Packets) {
+		t.Errorf("duplicates not adjacent: %d adjacent pairs, %d inserted", extra, len(dup)-len(run.Packets))
+	}
+
+	// Reorder displaces delivery but never past the bound: when packet i is
+	// delivered, nothing later is stamped more than the window earlier.
+	window := 90 * time.Second
+	shuffled := make([]honeypot.Packet, len(run.Packets))
+	copy(shuffled, run.Packets)
+	Reorder(shuffled, rng, window)
+	high := shuffled[0].Time
+	for i, p := range shuffled {
+		if p.Time.After(high) {
+			high = p.Time
+		}
+		if high.Sub(p.Time) > 2*window {
+			t.Fatalf("packet %d displaced %v, bound is %v", i, high.Sub(p.Time), 2*window)
+		}
+	}
+
+	// Skew offsets stay inside the bound and shift every packet of a
+	// sensor by the same amount.
+	skewed := make([]honeypot.Packet, len(run.Packets))
+	copy(skewed, run.Packets)
+	max := 45 * time.Second
+	offsets := SkewSensors(skewed, rng, run.Config.Sensors, max)
+	for s, off := range offsets {
+		if off < -max || off > max {
+			t.Fatalf("sensor %d offset %v outside ±%v", s, off, max)
+		}
+	}
+	for i := range skewed {
+		want := run.Packets[i].Time.Add(offsets[run.Packets[i].Sensor])
+		if !skewed[i].Time.Equal(want) {
+			t.Fatalf("packet %d skewed to %v, want %v", i, skewed[i].Time, want)
+		}
+	}
+}

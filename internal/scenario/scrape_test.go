@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"booters/internal/dataset"
+	"booters/internal/scrape"
+)
+
+// scrapeRun generates the catalog's market-churn scenario — market
+// dynamics plus the self-report scrape stream — once per test.
+func scrapeRun(t *testing.T) *Run {
+	t.Helper()
+	cfg, ok := Catalog("market-churn")
+	if !ok {
+		t.Fatal("market-churn missing from the catalog")
+	}
+	run, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Scrape == nil || run.SelfReport == nil {
+		t.Fatal("market-churn should carry a scrape stream and its reference panel")
+	}
+	return run
+}
+
+// TestScrapeCollectorRebuildsPanel is the streaming-source equivalence:
+// folding the event stream through a ScrapeCollector must reproduce the
+// bundled reference panel — same sites, same observations, same churn
+// series — because a live scrape feed is just this stream over time.
+func TestScrapeCollectorRebuildsPanel(t *testing.T) {
+	run := scrapeRun(t)
+	col := NewScrapeCollector()
+	for _, ev := range run.Scrape {
+		if err := col.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := col.Weeks(), run.Config.Weeks; got != want {
+		t.Fatalf("collector saw %d weeks, scenario spans %d", got, want)
+	}
+
+	ref := run.SelfReport
+	got := col.Panel(run.Manifest.StartWeek())
+	if len(got.Sites) != len(ref.Sites) {
+		t.Fatalf("collected %d sites, reference has %d", len(got.Sites), len(ref.Sites))
+	}
+	bySite := make(map[string]*scrape.SiteHistory, len(ref.Sites))
+	for _, h := range ref.Sites {
+		bySite[h.Name] = h
+	}
+	for _, h := range got.Sites {
+		want, ok := bySite[h.Name]
+		if !ok {
+			t.Fatalf("collector invented site %q", h.Name)
+		}
+		if !reflect.DeepEqual(h.Obs, want.Obs) {
+			t.Errorf("site %q: collected observations diverge from the reference", h.Name)
+		}
+	}
+	if !reflect.DeepEqual(got.Churn, ref.Churn) {
+		t.Error("churn series rebuilt from the stream diverges from the reference")
+	}
+
+	// The manifest's self-report truth sizes the stream.
+	sr := run.Manifest.SelfReport
+	if sr == nil {
+		t.Fatal("manifest carries no self-report truth")
+	}
+	if sr.Sites != len(ref.Sites) || sr.Events != len(run.Scrape) {
+		t.Errorf("manifest says %d sites / %d events, stream has %d / %d",
+			sr.Sites, sr.Events, len(ref.Sites), len(run.Scrape))
+	}
+}
+
+// TestScrapeCollectorRejectsRegression guards the collector's ordering
+// contract: per-site week numbers must strictly increase.
+func TestScrapeCollectorRejectsRegression(t *testing.T) {
+	col := NewScrapeCollector()
+	if err := col.Observe(ScrapeEvent{Week: 3, Site: "a", Up: true, Total: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Observe(ScrapeEvent{Week: 3, Site: "a", Up: true, Total: 11}); err == nil {
+		t.Error("duplicate week accepted")
+	}
+	if err := col.Observe(ScrapeEvent{Week: 2, Site: "a", Up: true, Total: 9}); err == nil {
+		t.Error("regressing week accepted")
+	}
+	// Other sites are independent; gaps are fine.
+	if err := col.Observe(ScrapeEvent{Week: 0, Site: "b", Up: false}); err != nil {
+		t.Errorf("fresh site rejected: %v", err)
+	}
+	if err := col.Observe(ScrapeEvent{Week: 9, Site: "a", Up: true, Total: 12}); err != nil {
+		t.Errorf("gapped week rejected: %v", err)
+	}
+}
+
+// TestScrapeChurnDeathSpike runs the paper's churn statistics over the
+// streamed scrape panel: the takedown week the manifest records must
+// show up as a death spike against the background churn rate.
+func TestScrapeChurnDeathSpike(t *testing.T) {
+	run := scrapeRun(t)
+	col := NewScrapeCollector()
+	for _, ev := range run.Scrape {
+		if err := col.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	panel := col.Panel(run.Manifest.StartWeek())
+
+	weeks := run.Manifest.SelfReport.TakedownWeeks
+	if len(weeks) == 0 {
+		t.Fatal("manifest records no takedown weeks for the scrape side")
+	}
+	for _, w := range weeks {
+		spike, err := scrape.DeathSpikeTest(panel.Churn, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spike.Observed <= int(spike.BackgroundRate) {
+			t.Errorf("takedown week %d: %d deaths is not above the background rate %.2f",
+				w, spike.Observed, spike.BackgroundRate)
+		}
+		if !spike.Significant(0.05) {
+			t.Errorf("takedown week %d: death spike not significant (p=%.4f, observed %d, background %.2f)",
+				w, spike.P, spike.Observed, spike.BackgroundRate)
+		}
+	}
+
+	// The takedown kills the largest provider, so concentration after the
+	// shock must not be computed over a dead market: sanity-check the
+	// shift runs and keeps at least one provider serving.
+	before, after := scrape.ConcentrationShift(panel.Sites, weeks[0], 8)
+	if before.Providers == 0 || after.Providers == 0 {
+		t.Errorf("concentration shift found an empty market: before %+v after %+v", before, after)
+	}
+}
+
+// TestScrapeCSVEquivalence checks the CSV writers the CLIs use: the
+// self-report and churn CSVs rendered from the stream-rebuilt panel must
+// be byte-identical to the ones rendered from the bundled reference —
+// the same files cmd/bootergen writes.
+func TestScrapeCSVEquivalence(t *testing.T) {
+	run := scrapeRun(t)
+	col := NewScrapeCollector()
+	for _, ev := range run.Scrape {
+		if err := col.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := col.Panel(run.Manifest.StartWeek())
+	ref := run.SelfReport
+
+	var gotSR, refSR bytes.Buffer
+	if err := dataset.WriteSelfReportCSV(&gotSR, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteSelfReportCSV(&refSR, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSR.Bytes(), refSR.Bytes()) {
+		t.Error("self-report CSV from the stream-rebuilt panel differs from the reference")
+	}
+
+	var gotChurn, refChurn bytes.Buffer
+	if err := dataset.WriteChurnCSV(&gotChurn, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteChurnCSV(&refChurn, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotChurn.Bytes(), refChurn.Bytes()) {
+		t.Error("churn CSV from the stream-rebuilt panel differs from the reference")
+	}
+	if gotSR.Len() == 0 || gotChurn.Len() == 0 {
+		t.Fatal("degenerate CSVs")
+	}
+}

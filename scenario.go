@@ -1,0 +1,112 @@
+package booters
+
+import (
+	"fmt"
+
+	"booters/internal/dataset"
+	"booters/internal/ingest"
+	"booters/internal/scenario"
+	"booters/internal/serve"
+)
+
+// GenerateScenario resolves a scenario spec — a catalog name from
+// scenario.Names (e.g. "takedown-sharp") or the path of a JSON config
+// file — and generates the run: the packet stream(s), the optional
+// scrape-event stream, and the manifest recording the injected ground
+// truth the pipeline must reproduce. Deterministic for a given spec.
+// See docs/SCENARIOS.md for the config format and the primitive catalog.
+func GenerateScenario(spec string) (*scenario.Run, error) {
+	cfg, err := scenario.Load(spec)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Generate(cfg)
+}
+
+// NewScenarioIngestor builds a streaming pipeline sized to the run's
+// scenario span, order-tolerant when the run's delivery stream demands
+// it (a reordered hostile twin). Feed it the run's Stream and Close it,
+// or let ReplayScenario do both.
+func NewScenarioIngestor(run *scenario.Run, shards int, sinks ...ingest.Sink) (*ingest.Ingestor, error) {
+	return ingest.New(ingest.Config{
+		Shards:    shards,
+		Start:     run.Config.Start,
+		End:       run.Config.End(),
+		Sinks:     sinks,
+		Unordered: run.RequiresUnordered(),
+	})
+}
+
+// ReplayScenario replays the run's delivery stream — the hostile twin
+// when one was generated, the clean stream otherwise — through a fresh
+// pipeline over the scenario span and returns the closed result. For
+// reordered hostile streams the pipeline is order-tolerant and fed from
+// a low-watermark source lagged by the run's reorder bound, exactly how
+// a live collector would absorb the same traffic. Assert the outcome
+// against the run's manifest: Manifest.VerifyPanel for the weekly panel,
+// Manifest.Fit + VerifyFit for intervention recovery.
+func ReplayScenario(run *scenario.Run, shards int, sinks ...ingest.Sink) (*ingest.Result, error) {
+	in, err := NewScenarioIngestor(run, shards, sinks...)
+	if err != nil {
+		return nil, err
+	}
+	stream := run.Stream()
+	if run.RequiresUnordered() {
+		src := in.RegisterSource()
+		lag := run.WatermarkLag()
+		head := run.Config.Start
+		for i, p := range stream {
+			if err := in.Ingest(p); err != nil {
+				in.Close()
+				return nil, err
+			}
+			if p.Time.After(head) {
+				head = p.Time
+			}
+			// Bounded reordering makes head-lag a valid promise; advance
+			// in strides to keep the per-packet cost at a comparison.
+			if i&1023 == 1023 {
+				src.Advance(head.Add(-lag))
+			}
+		}
+		src.Close()
+	} else {
+		for _, p := range stream {
+			if err := in.Ingest(p); err != nil {
+				in.Close()
+				return nil, err
+			}
+		}
+	}
+	return in.Close()
+}
+
+// ServeScenario is Serve with the scenario manifest's injected
+// interventions as the model catalogue instead of the paper's Table 1,
+// so /v1/model queries over the scenario span fit — and should recover —
+// the run's ground-truth effects. The ingestor must be rolling and sized
+// to the scenario span (ingest.Config.Rolling over Manifest.Start to
+// Manifest.End, or a collector built that way).
+func ServeScenario(in *ingest.Ingestor, addr string, m *scenario.Manifest) (*serve.Server, error) {
+	return serveWith(in, addr, "", m.Interventions())
+}
+
+// ScenarioPanel bridges a scenario's completed ingest result into a
+// dataset.Panel over the scenario span. Unlike PanelFromIngest, the
+// self-report side is not left empty: when the run carries a scrape
+// stream, the events are folded through a scenario.ScrapeCollector —
+// the same consumer a live scrape feed drives — into the panel's
+// booter self-report side, churn series included.
+func ScenarioPanel(run *scenario.Run, res *ingest.Result) (*dataset.Panel, error) {
+	p := PanelFromIngest(res)
+	if run.Scrape != nil {
+		col := scenario.NewScrapeCollector()
+		for _, ev := range run.Scrape {
+			if err := col.Observe(ev); err != nil {
+				return nil, fmt.Errorf("booters: scenario scrape stream: %w", err)
+			}
+		}
+		p.SelfReport = col.Panel(run.Manifest.StartWeek())
+	}
+	return p, nil
+}
