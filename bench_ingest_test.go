@@ -71,6 +71,7 @@ func benchIngestConfig(shards int) ingest.Config {
 // (BenchmarkIngest1Shard vs BenchmarkIngest1ShardMetrics, ≤3% ns/op).
 func runIngestBenchmark(b *testing.B, shards int, withMetrics bool) {
 	packets := benchIngestStream(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := benchIngestConfig(shards)
@@ -119,6 +120,7 @@ func BenchmarkIngest4ShardMetrics(b *testing.B) { runIngestBenchmark(b, 4, true)
 // beat on multicore hardware.
 func BenchmarkIngestBatchBaseline(b *testing.B) {
 	packets := benchIngestStream(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ingest.Batch(benchIngestConfig(1), packets)
@@ -143,6 +145,7 @@ func BenchmarkIngestBatchBaseline(b *testing.B) {
 // per iteration (a sink instance serves one run).
 func runIngestFanout(b *testing.B, mkSinks func() []ingest.Sink) {
 	packets := benchIngestStream(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := benchIngestConfig(4)
@@ -235,6 +238,7 @@ func reportSpoolFootprint(b *testing.B, dir string, packets uint64) {
 func runSpoolRecord(b *testing.B, codecName string) {
 	datagrams := ingest.Datagrams(benchIngestStream(b))
 	var lastDir string
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dir, err := os.MkdirTemp(b.TempDir(), "spool")
@@ -265,14 +269,16 @@ func runSpoolRecord(b *testing.B, codecName string) {
 	reportSpoolFootprint(b, lastDir, uint64(len(datagrams)))
 }
 
-func BenchmarkSpoolRecord(b *testing.B)    { runSpoolRecord(b, "none") }
-func BenchmarkSpoolRecordLZ4(b *testing.B) { runSpoolRecord(b, "lz4") }
+func BenchmarkSpoolRecord(b *testing.B)     { runSpoolRecord(b, "none") }
+func BenchmarkSpoolRecordLZ4(b *testing.B)  { runSpoolRecord(b, "lz4") }
+func BenchmarkSpoolRecordZstd(b *testing.B) { runSpoolRecord(b, "zstd") }
 
 // runSpoolRead measures raw replay off disk — decode only, no pipeline
 // behind it — at the given reader count.
 func runSpoolRead(b *testing.B, codecName string, workers int) {
 	dir := benchSpool(b, codecName)
 	want := uint64(len(benchIngestStream(b)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var n uint64
@@ -290,10 +296,12 @@ func runSpoolRead(b *testing.B, codecName string, workers int) {
 	reportSpoolFootprint(b, dir, want)
 }
 
-func BenchmarkSpoolRead(b *testing.B)            { runSpoolRead(b, "none", 1) }
-func BenchmarkSpoolRead4Readers(b *testing.B)    { runSpoolRead(b, "none", 4) }
-func BenchmarkSpoolReadLZ4(b *testing.B)         { runSpoolRead(b, "lz4", 1) }
-func BenchmarkSpoolReadLZ44Readers(b *testing.B) { runSpoolRead(b, "lz4", 4) }
+func BenchmarkSpoolRead(b *testing.B)             { runSpoolRead(b, "none", 1) }
+func BenchmarkSpoolRead4Readers(b *testing.B)     { runSpoolRead(b, "none", 4) }
+func BenchmarkSpoolReadLZ4(b *testing.B)          { runSpoolRead(b, "lz4", 1) }
+func BenchmarkSpoolReadLZ44Readers(b *testing.B)  { runSpoolRead(b, "lz4", 4) }
+func BenchmarkSpoolReadZstd(b *testing.B)         { runSpoolRead(b, "zstd", 1) }
+func BenchmarkSpoolReadZstd4Readers(b *testing.B) { runSpoolRead(b, "zstd", 4) }
 
 // runSpoolReplay measures the full record-once-replay-many path: the
 // spooled capture streamed from disk — sequentially or via parallel
@@ -302,6 +310,7 @@ func BenchmarkSpoolReadLZ44Readers(b *testing.B) { runSpoolRead(b, "lz4", 4) }
 func runSpoolReplay(b *testing.B, codecName string, workers int) {
 	dir := benchSpool(b, codecName)
 	total := uint64(len(benchIngestStream(b)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in, err := ingest.New(benchIngestConfig(runtime.GOMAXPROCS(0)))
@@ -327,10 +336,12 @@ func runSpoolReplay(b *testing.B, codecName string, workers int) {
 	b.ReportMetric(float64(total), "packets/op")
 }
 
-func BenchmarkSpoolReplay(b *testing.B)            { runSpoolReplay(b, "none", 1) }
-func BenchmarkSpoolReplay4Readers(b *testing.B)    { runSpoolReplay(b, "none", 4) }
-func BenchmarkSpoolReplayLZ4(b *testing.B)         { runSpoolReplay(b, "lz4", 1) }
-func BenchmarkSpoolReplayLZ44Readers(b *testing.B) { runSpoolReplay(b, "lz4", 4) }
+func BenchmarkSpoolReplay(b *testing.B)             { runSpoolReplay(b, "none", 1) }
+func BenchmarkSpoolReplay4Readers(b *testing.B)     { runSpoolReplay(b, "none", 4) }
+func BenchmarkSpoolReplayLZ4(b *testing.B)          { runSpoolReplay(b, "lz4", 1) }
+func BenchmarkSpoolReplayLZ44Readers(b *testing.B)  { runSpoolReplay(b, "lz4", 4) }
+func BenchmarkSpoolReplayZstd(b *testing.B)         { runSpoolReplay(b, "zstd", 1) }
+func BenchmarkSpoolReplayZstd4Readers(b *testing.B) { runSpoolReplay(b, "zstd", 4) }
 
 // runSpoolReplayUnordered measures the order-tolerant replay path over
 // the same spool: readers hand whole segments to an unordered pipeline
@@ -341,6 +352,7 @@ func BenchmarkSpoolReplayLZ44Readers(b *testing.B) { runSpoolReplay(b, "lz4", 4)
 func runSpoolReplayUnordered(b *testing.B, codecName string, workers int) {
 	dir := benchSpool(b, codecName)
 	total := uint64(len(benchIngestStream(b)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := benchIngestConfig(runtime.GOMAXPROCS(0))
@@ -377,12 +389,83 @@ func runSpoolReplayUnordered(b *testing.B, codecName string, workers int) {
 func BenchmarkSpoolReplayUnordered(b *testing.B)         { runSpoolReplayUnordered(b, "none", 1) }
 func BenchmarkSpoolReplayUnordered4Readers(b *testing.B) { runSpoolReplayUnordered(b, "none", 4) }
 
+// BenchmarkIngestSteadyState measures the per-packet cost of an
+// already-running pipeline: one Ingestor serves every iteration, so the
+// per-run setup the other ingest benchmarks pay (shard spin-up, panel
+// series allocation) sits outside the timer and allocs/op reads the
+// steady-state figure the zero-alloc work targets. The stream is replayed
+// cyclically with a time shift per lap to keep packet times ascending for
+// the ordered aggregator.
+func BenchmarkIngestSteadyState(b *testing.B) {
+	packets := benchIngestStream(b)
+	span := packets[len(packets)-1].Time.Sub(packets[0].Time) + 24*time.Hour
+	in, err := ingest.New(benchIngestConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	j, shift := 0, time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		p := packets[j]
+		p.Time = p.Time.Add(shift)
+		if err := in.Ingest(p); err != nil {
+			b.Fatal(err)
+		}
+		if j++; j == len(packets) {
+			j, shift = 0, shift+span
+		}
+	}
+	b.StopTimer()
+	if _, err := in.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+}
+
+// BenchmarkSpoolReadSteadyRecord measures one sequential Next() on a
+// codec-none spool — on unix this is the mmap zero-copy path, with the
+// payload borrowed straight from the mapped segment. The reader is
+// reopened when the spool is exhausted, amortised over ~1M records per
+// pass, so allocs/op reads the per-record steady state.
+func BenchmarkSpoolReadSteadyRecord(b *testing.B) {
+	dir := benchSpool(b, "none")
+	r, err := spool.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := r.Next()
+		if err == io.EOF {
+			r.Close()
+			if r, err = spool.Open(dir); err != nil {
+				b.Fatal(err)
+			}
+			d, err = r.Next()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += len(d.Payload)
+	}
+	b.StopTimer()
+	r.Close()
+	if sink == 0 {
+		b.Fatal("no payload bytes read")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
+}
+
 // BenchmarkIngestWireDecode replays wire-format datagrams so the per-packet
 // protocol decode (port lookup + request validation) is on the measured
 // path.
 func BenchmarkIngestWireDecode(b *testing.B) {
 	packets := benchIngestStream(b)
 	datagrams := ingest.Datagrams(packets)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in, err := ingest.New(benchIngestConfig(runtime.GOMAXPROCS(0)))

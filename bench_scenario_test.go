@@ -25,6 +25,7 @@ import (
 func runScenarioBenchmark(b *testing.B, spec string) {
 	run := cachedScenarioRun(b, spec)
 	n := len(run.Stream())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ReplayScenario(run, runtime.GOMAXPROCS(0))
@@ -65,6 +66,7 @@ func BenchmarkScenarioGenerate(b *testing.B) {
 		b.Fatal(err)
 	}
 	var packets int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		run, err := scenario.Generate(cfg)

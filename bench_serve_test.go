@@ -121,6 +121,7 @@ func runServeQueryBench(b *testing.B, readers int) {
 	bs := benchServeStart(b)
 	defer bs.teardown()
 	eng := ingestServeEngine(b, bs.in)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.SetParallelism(readers)
 	b.RunParallel(func(pb *testing.PB) {
@@ -183,6 +184,7 @@ func runServeHTTPBench(b *testing.B, hot bool) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.SetParallelism(4)
 	b.RunParallel(func(pb *testing.PB) {
@@ -216,6 +218,7 @@ func BenchmarkServeQueryHTTPIdle(b *testing.B) { runServeHTTPBench(b, false) }
 // servable while nobody asks, which the acceptance bar caps at ~5%.
 func BenchmarkIngestRolling4Shard(b *testing.B) {
 	packets := benchIngestStream(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := benchIngestConfig(4)

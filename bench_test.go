@@ -47,6 +47,7 @@ func benchSetup(b *testing.B) *core.Env {
 // if any paper-vs-measured check regresses.
 func runExperiment(b *testing.B, id string) {
 	env := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunOne(env, id)
@@ -93,6 +94,7 @@ func BenchmarkPanelGeneration(b *testing.B) {
 // duration search (the paper's full estimation procedure).
 func BenchmarkGlobalModelEndToEnd(b *testing.B) {
 	env := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := FitGlobalModel(env.Panel); err != nil {
@@ -118,6 +120,7 @@ func BenchmarkAblationNBvsPoisson(b *testing.B) {
 	specNB := its.DefaultSpec(Table1Interventions())
 	specP := specNB
 	specP.Family = glm.Poisson
+	b.ReportAllocs()
 	b.ResetTimer()
 	var llNB, llP float64
 	for i := 0; i < b.N; i++ {
@@ -146,6 +149,7 @@ func BenchmarkAblationSeasonality(b *testing.B) {
 	with := its.DefaultSpec(Table1Interventions())
 	without := with
 	without.Seasonal = false
+	b.ReportAllocs()
 	b.ResetTimer()
 	var gap float64
 	for i := 0; i < b.N; i++ {
@@ -173,6 +177,7 @@ func BenchmarkAblationEaster(b *testing.B) {
 	with := its.DefaultSpec(Table1Interventions())
 	without := with
 	without.Easter = false
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := its.Fit(s, with); err != nil {
@@ -188,6 +193,7 @@ func BenchmarkAblationEaster(b *testing.B) {
 // the likelihood search over window lengths.
 func BenchmarkAblationDurationSearch(b *testing.B) {
 	env := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := FitGlobalModelFixed(env.Panel); err != nil {
@@ -204,6 +210,7 @@ func BenchmarkNBRegression(b *testing.B) {
 	s := ablationSeries(b)
 	spec := its.DefaultSpec(Table1Interventions())
 	x, names := its.Design(s, spec)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := glm.Fit(glm.NegativeBinomial, x, s.Values, names, glm.Options{}); err != nil {
@@ -233,6 +240,7 @@ func BenchmarkFlowAggregation(b *testing.B) {
 			Size:   64,
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agg := honeypot.NewAggregator()
@@ -255,6 +263,7 @@ func BenchmarkProtocolCodecs(b *testing.B) {
 	for i, p := range protocols.All() {
 		reqs[i] = p.Request()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, p := range protocols.All() {

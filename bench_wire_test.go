@@ -20,6 +20,7 @@ import (
 func BenchmarkWireSensorCollector(b *testing.B) {
 	packets := benchIngestStream(b)
 	recs := ingest.Datagrams(packets)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in, err := ingest.New(benchIngestConfig(4))

@@ -5,9 +5,16 @@
 // pipeline, and writes the same CSVs plus the scenario's ground-truth
 // manifest.
 //
+// With -record DIR the scenario's wire-format datagrams are spooled to
+// disk instead (optionally compressed with -compress lz4 or zstd) for the
+// record-once-replay-many workflow: replay the spool with
+// booteringest -replay and verify against the manifest.json written next
+// to the segments.
+//
 // Usage:
 //
 //	bootergen [-seed N] [-out DIR] [-scenario NAME|FILE|list]
+//	bootergen -scenario NAME -record DIR [-compress CODEC]
 package main
 
 import (
@@ -16,11 +23,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"booters"
 	"booters/internal/dataset"
 	"booters/internal/ingest"
 	"booters/internal/scenario"
+	"booters/internal/spool"
 )
 
 const usageText = `bootergen generates the reproduction's synthetic datasets and writes them
@@ -38,9 +47,15 @@ NB2 coefficients with tolerances) next to the CSVs. The self-report CSVs
 are then populated from the scenario's streaming scrape source, when the
 scenario carries one. -scenario list prints the catalog.
 
+-record DIR spools the scenario's wire-format datagrams to disk instead
+of replaying them (-compress picks the spool block codec: none, lz4 or
+zstd), with the ground-truth manifest.json written next to the segments —
+replay the spool with booteringest -replay DIR.
+
 Usage:
 
   bootergen [-seed N] [-out DIR] [-scenario NAME|FILE|list]
+  bootergen -scenario NAME -record DIR [-compress CODEC]
 
 Flags:
 
@@ -56,12 +71,24 @@ func main() {
 	seed := flag.Int64("seed", 20191021, "generator seed")
 	out := flag.String("out", ".", "output directory")
 	scenarioFlag := flag.String("scenario", "", "generate a scenario workload: catalog name, config file, or list")
+	recordDir := flag.String("record", "", "spool the scenario's wire-format datagrams to this directory and exit (requires -scenario)")
+	compress := flag.String("compress", "none", "spool block codec for -record: none, lz4 or zstd")
 	flag.Parse()
 
 	if *scenarioFlag == "list" {
 		for _, name := range scenario.Names() {
 			fmt.Printf("%-20s %s\n", name, scenario.Describe(name))
 		}
+		return
+	}
+	if *recordDir != "" && *scenarioFlag == "" {
+		log.Fatal("-record requires -scenario (the CSV datasets carry no packet stream)")
+	}
+	if *recordDir == "" && *compress != "none" {
+		log.Fatal("-compress only applies to -record")
+	}
+	if *recordDir != "" {
+		recordScenario(*scenarioFlag, *recordDir, *compress)
 		return
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -81,6 +108,47 @@ func main() {
 		filepath.Join(*out, "weekly_panel.csv"), p.Weeks,
 		filepath.Join(*out, "self_report.csv"), len(p.SelfReport.Sites),
 		filepath.Join(*out, "market_churn.csv"))
+}
+
+// recordScenario generates the named scenario and spools its wire-format
+// datagrams to dir under the chosen codec, with the ground-truth manifest
+// written next to the segments (segment discovery filters on the .seg
+// extension, so the extra file is inert to replay).
+func recordScenario(spec, dir, compress string) {
+	codec, err := spool.CodecByName(compress)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := booters.GenerateScenario(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := run.Manifest
+	fmt.Printf("scenario %s: %d packets (%d attacks, %d scans) over %d weeks\n",
+		m.Name, m.Packets, m.Attacks, m.Scans, m.Weeks)
+
+	w, err := spool.Create(dir, spool.Options{Codec: codec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for _, d := range ingest.Datagrams(run.Packets) {
+		if err := w.Append(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	manifestPath := filepath.Join(dir, "manifest.json")
+	if err := m.WriteFile(manifestPath); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("recorded %d datagrams to %s in %v (%.0f datagrams/sec, codec %s)\n",
+		w.Count(), dir, elapsed.Round(time.Millisecond),
+		float64(w.Count())/elapsed.Seconds(), codec.Name())
+	fmt.Printf("wrote %s; replay with: booteringest -replay %s\n", manifestPath, dir)
 }
 
 // runScenario generates the named scenario, replays it through the batch

@@ -14,7 +14,7 @@
 //	             [-shed POLICY] [-queue N] [-pprof ADDR] [-progress DUR]
 //
 // -record DIR generates the synthetic stream, spools it to DIR as
-// wire-format datagrams and exits; -compress lz4 stores the spool's
+// wire-format datagrams and exits; -compress lz4 (or zstd) stores the spool's
 // blocks compressed. -replay DIR streams a previously recorded spool
 // from disk through the pipeline instead of generating; -from/-to bound
 // the replay to a time window (whole segments outside it are skipped via
@@ -61,7 +61,7 @@ const usageText = `booteringest replays a reflected-UDP packet stream through th
 streaming ingestion pipeline and reports throughput, the weekly attack
 series and any attached sinks. The stream is either generated from the
 booter-market simulator (default), recorded once to an on-disk spool
-(-record DIR, optionally compressed with -compress lz4), or replayed
+(-record DIR, optionally compressed with -compress lz4 or zstd), or replayed
 from such a spool at disk speed (-replay DIR), whole or bounded to a
 time window (-from/-to, pruning segments via the spool index) with
 -replay-workers concurrent segment readers — in recorded order by
@@ -97,7 +97,7 @@ func main() {
 	attacks := flag.Float64("attacks", 1000, "mean attack flows per week")
 	wire := flag.Bool("wire", false, "replay wire-format datagrams (exercise protocol decode)")
 	recordDir := flag.String("record", "", "spool the generated stream to this directory and exit")
-	compress := flag.String("compress", "none", "spool block codec for -record: none or lz4")
+	compress := flag.String("compress", "none", "spool block codec for -record: none, lz4 or zstd")
 	replayDir := flag.String("replay", "", "replay a recorded spool from this directory (implies -wire)")
 	spoolInfo := flag.String("spool-info", "", "print a spool directory's segment index and exit (no replay)")
 	fromFlag := flag.String("from", "", "replay only datagrams at or after this time")

@@ -120,7 +120,7 @@ func main() {
 	weeks := flag.Int("weeks", 52, "generated stream length in weeks")
 	attacks := flag.Float64("attacks", 500, "mean attack flows per week")
 	recordDir := flag.String("record", "", "spool the generated stream to this directory, then replay it from disk")
-	compress := flag.String("compress", "none", "spool block codec for -record: none or lz4")
+	compress := flag.String("compress", "none", "spool block codec for -record: none, lz4 or zstd")
 	replayDir := flag.String("replay", "", "replay an existing spool from this directory")
 	listen := flag.String("listen", "", "collector mode: accept networked sensor sessions on this address")
 	wireToken := flag.String("wire-token", "", "shared secret sensors must present (collector mode)")

@@ -50,7 +50,7 @@ func (a *naiveAggregator) flush() []*Flow {
 	}
 	out := a.completed
 	a.completed = nil
-	sortFlows(out)
+	sortFlowsCanonical(out)
 	return out
 }
 
@@ -90,7 +90,7 @@ func TestHeapExpiryMatchesNaiveScan(t *testing.T) {
 		naive.offer(p)
 	}
 	got := append(agg.Completed(), agg.Flush()...)
-	sortFlows(got)
+	sortFlowsCanonical(got)
 	want := naive.flush()
 	if len(got) != len(want) {
 		t.Fatalf("flows: got %d want %d", len(got), len(want))

@@ -14,7 +14,7 @@ package honeypot
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 	"time"
 
 	"booters/internal/protocols"
@@ -152,7 +152,47 @@ type Aggregator struct {
 	lastTime  time.Time
 	gap       time.Duration
 	exp       expiryHeap
+	free      flowFreeList
 }
+
+// flowFreeList recycles Flow structs (and their per-sensor count maps)
+// between closure and the next flow open, so sustained flow churn stops
+// allocating. It is shared by both aggregators and carries their
+// concurrency rule: the free list belongs to the aggregator's owning
+// goroutine — Recycle must be called from the same goroutine that calls
+// Offer, and only with flows the caller is done with (a recycled flow is
+// reused by a later Offer, so retaining it corrupts a future flow).
+type flowFreeList []*Flow
+
+// take returns a zeroed flow, reusing a recycled one when available.
+func (fl *flowFreeList) take() *Flow {
+	s := *fl
+	if n := len(s); n > 0 {
+		f := s[n-1]
+		s[n-1] = nil
+		*fl = s[:n-1]
+		return f
+	}
+	return &Flow{PacketsBySensor: make(map[int]int)}
+}
+
+// put resets f and shelves it for reuse.
+func (fl *flowFreeList) put(f *Flow) {
+	if f == nil {
+		return
+	}
+	m := f.PacketsBySensor
+	clear(m)
+	*f = Flow{PacketsBySensor: m}
+	*fl = append(*fl, f)
+}
+
+// Recycle hands a consumed flow back for reuse by a later Offer. Callers
+// that retain closed flows (Config.KeepFlows pipelines, tests holding
+// them for assertions) simply never call it. Must be called from the
+// goroutine that owns the aggregator, and only with flows this
+// aggregator produced.
+func (a *Aggregator) Recycle(f *Flow) { a.free.put(f) }
 
 // expiryEntry schedules one open flow for an expiry check: the flow
 // cannot close before last + gap, so the heap orders checks by last. The
@@ -260,11 +300,9 @@ func (a *Aggregator) Offer(p Packet) error {
 			// surfaces (the key now maps to the newer flow).
 			a.completed = append(a.completed, f)
 		}
-		f = &Flow{
-			Key:             key,
-			First:           p.Time,
-			PacketsBySensor: make(map[int]int),
-		}
+		f = a.free.take()
+		f.Key = key
+		f.First = p.Time
 		a.open[key] = f
 		a.exp.push(expiryEntry{last: p.Time.UnixNano(), key: key})
 	}
@@ -326,8 +364,15 @@ func (a *Aggregator) Flush() []*Flow {
 	a.exp = a.exp[:0]
 	out := a.completed
 	a.completed = nil
-	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	sortFlows(out)
 	return out
+}
+
+// sortFlows orders flows by first packet. slices.SortFunc, not
+// sort.Slice: the latter allocates a reflect-based swapper per call,
+// which is measurable at drain frequency.
+func sortFlows(out []*Flow) {
+	slices.SortFunc(out, func(a, b *Flow) int { return a.First.Compare(b.First) })
 }
 
 // Completed returns (and drains) the flows closed so far, in first-packet
@@ -335,7 +380,7 @@ func (a *Aggregator) Flush() []*Flow {
 func (a *Aggregator) Completed() []*Flow {
 	out := a.completed
 	a.completed = nil
-	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	sortFlows(out)
 	return out
 }
 

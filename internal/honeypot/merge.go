@@ -35,7 +35,12 @@ type MergeAggregator struct {
 	watermark time.Time
 	gap       time.Duration
 	openCount int
+	free      flowFreeList
 }
+
+// Recycle hands a consumed flow back for reuse by a later Offer, under
+// the same single-goroutine rule as Aggregator.Recycle.
+func (a *MergeAggregator) Recycle(f *Flow) { a.free.put(f) }
 
 // NewMergeAggregator returns an empty order-tolerant aggregator using the
 // paper's 15-minute quiet gap.
@@ -76,10 +81,13 @@ func (a *MergeAggregator) Offer(p Packet) error {
 		absorb(f, p)
 		if idx < len(ivs) && ivs[idx].First.Sub(f.Last) < a.gap {
 			// The extension closed the space to the right neighbour:
-			// coalesce the two intervals into one flow.
-			coalesce(f, ivs[idx])
+			// coalesce the two intervals into one flow and recycle the
+			// absorbed one.
+			absorbed := ivs[idx]
+			coalesce(f, absorbed)
 			a.open[key] = append(ivs[:idx], ivs[idx+1:]...)
 			a.openCount--
+			a.free.put(absorbed)
 		}
 	case idx < len(ivs) && ivs[idx].First.Sub(p.Time) < a.gap:
 		// Within one gap before the right neighbour: extend it downward.
@@ -90,14 +98,13 @@ func (a *MergeAggregator) Offer(p Packet) error {
 		absorb(ivs[idx], p)
 	default:
 		// More than one gap from every neighbour: a new interval.
-		f := &Flow{
-			Key:             key,
-			First:           p.Time,
-			Last:            p.Time,
-			PacketsBySensor: map[int]int{p.Sensor: 1},
-			TotalPackets:    1,
-			TotalBytes:      p.Size,
-		}
+		f := a.free.take()
+		f.Key = key
+		f.First = p.Time
+		f.Last = p.Time
+		f.PacketsBySensor[p.Sensor] = 1
+		f.TotalPackets = 1
+		f.TotalBytes = p.Size
 		ivs = append(ivs, nil)
 		copy(ivs[idx+1:], ivs[idx:])
 		ivs[idx] = f
@@ -176,7 +183,7 @@ func (a *MergeAggregator) Flush() []*Flow {
 	a.openCount = 0
 	out := a.completed
 	a.completed = nil
-	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	sortFlows(out)
 	return out
 }
 
@@ -185,7 +192,7 @@ func (a *MergeAggregator) Flush() []*Flow {
 func (a *MergeAggregator) Completed() []*Flow {
 	out := a.completed
 	a.completed = nil
-	sort.Slice(out, func(i, j int) bool { return out[i].First.Before(out[j].First) })
+	sortFlows(out)
 	return out
 }
 

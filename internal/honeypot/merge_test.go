@@ -40,8 +40,8 @@ func randomStream(rng *rand.Rand, n int) []Packet {
 	return ps
 }
 
-// sortFlows orders flows deterministically for comparison.
-func sortFlows(fs []*Flow) {
+// sortFlowsCanonical orders flows deterministically for comparison.
+func sortFlowsCanonical(fs []*Flow) {
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
 		if !a.First.Equal(b.First) {
@@ -58,8 +58,8 @@ func sortFlows(fs []*Flow) {
 // totals, per-sensor counts and classifications.
 func sameFlows(t *testing.T, got, want []*Flow) {
 	t.Helper()
-	sortFlows(got)
-	sortFlows(want)
+	sortFlowsCanonical(got)
+	sortFlowsCanonical(want)
 	if len(got) != len(want) {
 		t.Fatalf("got %d flows, want %d", len(got), len(want))
 	}

@@ -233,8 +233,7 @@ type Ingestor struct {
 	packets     atomic.Uint64
 	unknown     atomic.Uint64
 	malformed   atomic.Uint64
-	sinceMark   atomic.Uint64
-	watermark   atomic.Int64 // max packet time seen, unix nanos
+	watermark   atomic.Int64 // max packet time flushed to shards, unix nanos
 	flowsClosed atomic.Int64
 }
 
@@ -247,6 +246,7 @@ type flowTable interface {
 	Advance(time.Time)
 	Completed() []*honeypot.Flow
 	Flush() []*honeypot.Flow
+	Recycle(*honeypot.Flow)
 	OpenFlows() int
 	ExpiryHeapDepth() int
 }
@@ -271,6 +271,11 @@ type shard struct {
 	// path, read by Close after the shard is sealed).
 	shed         uint64
 	shedBySensor map[int]uint64
+
+	// maxTime is the newest packet timestamp appended to pending, guarded
+	// by mu; flushLocked publishes it to the global watermark, keeping the
+	// per-packet path free of the CAS.
+	maxTime int64
 
 	agg      flowTable
 	branches []SinkBranch
@@ -341,6 +346,12 @@ func (in *Ingestor) run(s *shard) {
 				if err := b.Consume(f, c); err != nil && s.sinkErr == nil {
 					s.sinkErr = err
 				}
+			}
+			// Every branch is done with the flow; recycle it into the
+			// shard's flow table — unless a branch retains it (KeepFlows
+			// is the only built-in that does).
+			if !in.cfg.KeepFlows {
+				s.agg.Recycle(f)
 			}
 		}
 		if len(flows) > 0 {
@@ -421,7 +432,6 @@ func (in *Ingestor) Ingest(p honeypot.Packet) error {
 	if in.closed.Load() {
 		return ErrClosed
 	}
-	in.observe(p.Time)
 	idx := shardFor(p.Victim, len(in.shards))
 	s := in.shards[idx]
 	s.mu.Lock()
@@ -433,22 +443,27 @@ func (in *Ingestor) Ingest(p honeypot.Packet) error {
 		s.pending = in.bufs.get(in.cfg.BatchSize)
 	}
 	s.pending = append(s.pending, p)
+	if n := p.Time.UnixNano(); n > s.maxTime {
+		s.maxTime = n
+	}
 	// Count before unlocking: Close flushes under this lock, so a packet it
-	// hands to a worker is always already in the packet count.
-	in.packets.Add(1)
+	// hands to a worker is always already in the packet count. The same
+	// counter paces the watermark broadcast, so the hot path pays exactly
+	// one atomic add per packet.
+	n := in.packets.Add(1)
 	if len(s.pending) >= in.cfg.BatchSize {
 		in.flushLocked(s)
 	}
 	s.mu.Unlock()
-	if in.sinceMark.Add(1)%uint64(in.cfg.WatermarkEvery) == 0 {
+	if n%uint64(in.cfg.WatermarkEvery) == 0 {
 		in.broadcastWatermark()
 	}
 	return nil
 }
 
-// observe raises the watermark to t if it is the newest timestamp seen.
-func (in *Ingestor) observe(t time.Time) {
-	n := t.UnixNano()
+// observe raises the watermark to n (unix nanos) if it is the newest
+// timestamp flushed so far.
+func (in *Ingestor) observe(n int64) {
 	for {
 		old := in.watermark.Load()
 		if n <= old || in.watermark.CompareAndSwap(old, n) {
@@ -522,7 +537,7 @@ func (s *Source) Close() {
 // lowWatermark returns the instant that is safely behind every packet
 // still to come, and whether one is known. With registered sources it is
 // the minimum across their promises; with none it falls back to the
-// maximum packet time seen — correct for ordered producers, which is the
+// maximum packet time flushed to shards — correct for ordered producers, which is the
 // only mode that runs sourceless — except under Unordered, where no
 // promise exists and flows must wait for Close.
 func (in *Ingestor) lowWatermark() (time.Time, bool) {
@@ -558,14 +573,29 @@ func (in *Ingestor) lowWatermark() (time.Time, bool) {
 // sheds the mark too — marks are monotonic and periodic, so a later one
 // catches the shard up.
 func (in *Ingestor) broadcastWatermark() {
-	mark, ok := in.lowWatermark()
+	// Flush every shard first: flushing publishes each shard's newest
+	// pending timestamp to the watermark, so the sourceless fallback mark
+	// below reflects every packet handed to a worker.
 	for _, s := range in.shards {
 		s.mu.Lock()
 		if !s.closed {
 			in.flushLocked(s)
-			if ok {
-				in.send(s, envelope{mark: mark})
-			}
+		}
+		s.mu.Unlock()
+	}
+	mark, ok := in.lowWatermark()
+	if !ok {
+		return
+	}
+	for _, s := range in.shards {
+		s.mu.Lock()
+		if !s.closed {
+			// Any batch a producer appended between the flush above and
+			// this send carries timestamps at or after the mark (ordered
+			// mode) or is covered by a source promise, so enqueueing the
+			// mark behind the flush keeps it a valid lower bound.
+			in.flushLocked(s)
+			in.send(s, envelope{mark: mark})
 		}
 		s.mu.Unlock()
 	}
@@ -577,6 +607,12 @@ func (in *Ingestor) broadcastWatermark() {
 func (in *Ingestor) flushLocked(s *shard) {
 	if len(s.pending) == 0 {
 		return
+	}
+	// Publish the shard's newest timestamp once per batch; the watermark
+	// therefore tracks packets handed to workers, which only makes it a
+	// more conservative (never a premature) lower bound.
+	if s.maxTime > in.watermark.Load() {
+		in.observe(s.maxTime)
 	}
 	env := envelope{batch: s.pending}
 	s.pending = nil

@@ -127,20 +127,24 @@ func (a *accumulator) Consume(f *honeypot.Flow, c honeypot.Classification) error
 		return nil
 	}
 	a.attacks++
-	if a.global.IndexOfTime(f.First) < 0 {
+	// All of the accumulator's series share one start and span (they are
+	// built from the same Config), so the week index is computed once and
+	// credited directly instead of re-deriving it per series.
+	w := a.global.IndexOfTime(f.First)
+	if w < 0 {
 		a.outOfSpan++
 		return nil
 	}
-	a.global.Add(f.First, 1)
-	a.byProtocol[f.Key.Proto].Add(f.First, 1)
+	a.global.Values[w]++
+	a.byProtocol[f.Key.Proto].Values[w]++
 	countries, ok := a.tbl.Lookup(f.Key.Victim)
 	if !ok {
 		a.unattributed++
 		return nil
 	}
 	for _, c := range countries {
-		a.byCountry[c].Add(f.First, 1)
-		a.countryProto[c][f.Key.Proto].Add(f.First, 1)
+		a.byCountry[c].Values[w]++
+		a.countryProto[c][f.Key.Proto].Values[w]++
 	}
 	return nil
 }

@@ -44,6 +44,11 @@ type SinkBranch interface {
 	// Consume receives one closed flow and its classification. An error
 	// does not stop the pipeline: the run continues and the first sink
 	// error is reported by Close (or Batch) after the Result is built.
+	//
+	// The *Flow is borrowed: unless the run sets Config.KeepFlows, the
+	// pipeline recycles it into the shard's flow table as soon as every
+	// branch has returned. A branch that holds flows past Consume must
+	// either copy what it needs or require KeepFlows.
 	Consume(f *honeypot.Flow, c honeypot.Classification) error
 }
 

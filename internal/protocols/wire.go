@@ -51,8 +51,7 @@ func (p Protocol) ValidateRequest(payload []byte) error {
 	case QOTD, CHARGEN, Time:
 		return nil // any datagram triggers a response
 	case DNS, MDNS:
-		_, _, err := ParseDNSQuery(payload)
-		return err
+		return ValidateDNSQuery(payload)
 	case PORTMAP:
 		_, err := ParsePortmapCall(payload)
 		return err
@@ -146,26 +145,27 @@ func writeDNSName(b *bytes.Buffer, name string) {
 	b.WriteByte(0)
 }
 
-// ParseDNSQuery decodes the transaction ID and query name of a DNS query,
-// validating the header and question section.
-func ParseDNSQuery(payload []byte) (id uint16, name string, err error) {
+// ValidateDNSQuery checks the header and question section of a DNS query
+// without materialising the name: a label walk over the payload with no
+// allocations on the accept path. It is the validator the streaming
+// ingest hot path runs once per DNS/MDNS datagram; ParseDNSQuery builds
+// on it when the caller also needs the query name.
+func ValidateDNSQuery(payload []byte) error {
 	if len(payload) < 12 {
-		return 0, "", ErrTruncated
+		return ErrTruncated
 	}
-	id = binary.BigEndian.Uint16(payload[0:])
 	flags := binary.BigEndian.Uint16(payload[2:])
 	if flags&0x8000 != 0 {
-		return 0, "", fmt.Errorf("%w: QR bit set on query", ErrBadRequest)
+		return fmt.Errorf("%w: QR bit set on query", ErrBadRequest)
 	}
 	qd := binary.BigEndian.Uint16(payload[4:])
 	if qd == 0 {
-		return 0, "", fmt.Errorf("%w: no question", ErrBadRequest)
+		return fmt.Errorf("%w: no question", ErrBadRequest)
 	}
-	var labels []string
 	i := 12
 	for {
 		if i >= len(payload) {
-			return 0, "", ErrTruncated
+			return ErrTruncated
 		}
 		l := int(payload[i])
 		i++
@@ -173,18 +173,43 @@ func ParseDNSQuery(payload []byte) (id uint16, name string, err error) {
 			break
 		}
 		if l > 63 {
-			return 0, "", fmt.Errorf("%w: label length %d", ErrBadRequest, l)
+			return fmt.Errorf("%w: label length %d", ErrBadRequest, l)
 		}
 		if i+l > len(payload) {
-			return 0, "", ErrTruncated
+			return ErrTruncated
 		}
-		labels = append(labels, string(payload[i:i+l]))
 		i += l
 	}
 	if i+4 > len(payload) {
-		return 0, "", ErrTruncated
+		return ErrTruncated
 	}
-	return id, strings.Join(labels, "."), nil
+	return nil
+}
+
+// ParseDNSQuery decodes the transaction ID and query name of a DNS query,
+// validating the header and question section. It allocates the returned
+// name; hot paths that only need validity use ValidateDNSQuery.
+func ParseDNSQuery(payload []byte) (id uint16, name string, err error) {
+	if err := ValidateDNSQuery(payload); err != nil {
+		return 0, "", err
+	}
+	// Second pass over the already-validated question: build the dotted
+	// name in one buffer instead of a label slice plus a join.
+	var b strings.Builder
+	i := 12
+	for {
+		l := int(payload[i])
+		i++
+		if l == 0 {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte('.')
+		}
+		b.Write(payload[i : i+l])
+		i += l
+	}
+	return binary.BigEndian.Uint16(payload[0:]), b.String(), nil
 }
 
 // dnsANYResponse encodes a response to an ANY query carrying a handful of

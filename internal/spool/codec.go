@@ -10,13 +10,16 @@ import (
 // identified on disk by a one-byte codec ID in the segment header, so a
 // reader never needs out-of-band configuration to open a spool.
 //
-// Decode must be safe for concurrent use (parallel replay shares one
-// decoder across segment readers); Encode may keep per-instance scratch
-// state and is only ever called from the single goroutine that owns a
-// Writer. CodecByName returns a fresh instance for exactly that reason.
+// Concurrency rule: a Codec instance is owned by a single goroutine.
+// Both Encode and Decode may keep per-instance scratch state (hash
+// tables, entropy tables, decode arenas), so instances are never shared:
+// every Writer gets its own via CodecByName, and every segment reader —
+// including each worker of a parallel replay — acquires its own decoder
+// via codecByID. Nothing in the package hands one instance to two
+// goroutines.
 type Codec interface {
 	// Name is the codec's spelling in MANIFEST files and in
-	// booteringest's -compress flag: "none" or "lz4".
+	// booteringest's -compress flag: "none", "lz4" or "zstd".
 	Name() string
 	// Encode appends the compressed form of src to dst and returns the
 	// extended slice. The writer discards the result and stores src raw
@@ -34,22 +37,25 @@ type Codec interface {
 const (
 	codecIDNone byte = 0
 	codecIDLZ4  byte = 1
+	codecIDZstd byte = 2
 )
 
 // CodecByName returns a fresh codec instance for a MANIFEST / flag
-// spelling: "none" (or "") and "lz4".
+// spelling: "none" (or ""), "lz4" and "zstd".
 func CodecByName(name string) (Codec, error) {
 	switch name {
 	case "", "none":
 		return noneCodec{}, nil
 	case "lz4":
 		return newLZ4Codec(), nil
+	case "zstd":
+		return newZstdCodec(), nil
 	}
-	return nil, fmt.Errorf("spool: unknown codec %q (want none or lz4)", name)
+	return nil, fmt.Errorf("spool: unknown codec %q (want none, lz4 or zstd)", name)
 }
 
 // Codecs lists the codec names CodecByName accepts, in ID order.
-func Codecs() []string { return []string{"none", "lz4"} }
+func Codecs() []string { return []string{"none", "lz4", "zstd"} }
 
 // codecID returns the on-disk ID for a codec instance.
 func codecID(c Codec) (byte, error) {
@@ -58,18 +64,23 @@ func codecID(c Codec) (byte, error) {
 		return codecIDNone, nil
 	case *lz4Codec:
 		return codecIDLZ4, nil
+	case *zstdCodec:
+		return codecIDZstd, nil
 	}
 	return 0, fmt.Errorf("spool: codec %q has no registered ID", c.Name())
 }
 
-// codecByID returns a decoder for an on-disk codec ID. The returned
-// instance is safe for concurrent Decode use.
+// codecByID returns a fresh decoder for an on-disk codec ID. Fresh per
+// call on purpose: decoders carry per-instance scratch, so each segment
+// reader must own its own (see the Codec concurrency rule).
 func codecByID(id byte) (Codec, error) {
 	switch id {
 	case codecIDNone:
 		return noneCodec{}, nil
 	case codecIDLZ4:
-		return sharedLZ4Decoder, nil
+		return newLZ4Codec(), nil
+	case codecIDZstd:
+		return newZstdCodec(), nil
 	}
 	return nil, fmt.Errorf("spool: unknown codec ID %d", id)
 }
@@ -119,12 +130,9 @@ const (
 // ErrCorrupt by the segment reader.
 var errLZ4 = errors.New("malformed lz4 block")
 
-// sharedLZ4Decoder serves every reader: Decode is stateless, so one
-// instance is safe for concurrent segment readers.
-var sharedLZ4Decoder = newLZ4Codec()
-
 // lz4Codec carries the encoder's hash table so repeated Encode calls
-// from one Writer do not reallocate it. Decode uses no state.
+// from one Writer do not reallocate it. Decode uses no state today, but
+// the instance is still confined to one reader per the Codec rule.
 type lz4Codec struct {
 	table []int32 // position+1 of the last occurrence of each 4-byte hash; 0 = empty
 }

@@ -1,0 +1,692 @@
+package spool
+
+// The zstd-class codec (on-disk ID 2): the lz4 codec's LZ77 match stream
+// re-grouped into its three byte classes — control bytes (tokens and
+// length extensions), literals, and match offsets — each carried as its
+// own stream with an optional order-0 tANS (FSE-style) entropy stage.
+// This is the same two-stage, split-stream shape as real zstd, hand-
+// rolled and dependency-free. The LZ77 stage removes record-to-record
+// repetition; the entropy stage then squeezes the residual token and
+// offset bytes, which are heavily skewed on capture workloads, while
+// near-uniform literal residue (timestamp low bytes) is stored raw so
+// replay does not pay entropy decode for bytes it cannot compress.
+// Layout and obligations are specified normatively in
+// docs/SPOOL_FORMAT.md.
+//
+// Block layout (after the spool's own block framing):
+//
+//	byte 0       mode: 0 = split streams, 1 = stored LZ77 stream
+//	mode 1:      the raw lz4-codec stream (splitting did not pay)
+//	mode 0:      uvarint lenT, lenL, lenO   raw lengths of the streams
+//	             stream T, stream L, stream O, each framed as:
+//	               byte: 0 = entropy-coded, 1 = raw
+//	               raw:     the stream's bytes (its raw length is known)
+//	               entropy: zero-run-length-coded normalized counts
+//	                        (sum 2^zstdTableLog), uvarint nbits,
+//	                        ceil(nbits/8) bitstream bytes
+//
+// The tANS coder uses a 2^zstdTableLog-state table and four interleaved
+// states (stream position i on state i mod 4) so the decoder's
+// dependency chains overlap. The encoder walks a stream backwards
+// writing bits LSB-first; the decoder reads the bitstream from the top
+// down through a 64-bit container refilled once per four symbols,
+// recovering symbols in forward order. The four final states are flushed
+// as zstdTableLog raw bits each (state 0 first, state 3 on top).
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+const (
+	// zstdTableLog sizes the tANS state table: 2^10 states balances
+	// per-block table-build cost against coding precision (going to 2^9
+	// costs ~1% compressed size on record streams; 2^11 buys only ~0.03%).
+	zstdTableLog  = 10
+	zstdTableSize = 1 << zstdTableLog
+
+	// zstdModeSplit and zstdModeStored are the block mode bytes.
+	zstdModeSplit  = 0
+	zstdModeStored = 1
+
+	// zstdStreamEntropy and zstdStreamRaw are the per-stream mode bytes.
+	zstdStreamEntropy = 0
+	zstdStreamRaw     = 1
+
+	// zstdMinEntropy is the smallest stream worth an entropy attempt;
+	// below it the weight table alone outweighs any saving.
+	zstdMinEntropy = 64
+)
+
+// errZstd reports a malformed zstd-class block. It is wrapped into
+// ErrCorrupt by the segment reader.
+var errZstd = errors.New("malformed zstd block")
+
+// zstdDecEntry is one decode-table state: emit sym, then read nb bits b
+// and step to base+b. mask is (1<<nb)-1, precomputed so the decode loop
+// does not rebuild it per symbol.
+type zstdDecEntry struct {
+	base uint16
+	mask uint16
+	sym  byte
+	nb   byte
+}
+
+// zstdCodec carries the LZ77 stage plus per-instance scratch for both
+// directions, so steady-state Encode and Decode allocate nothing. A
+// zstdCodec is single-goroutine like every Codec; see the interface doc.
+type zstdCodec struct {
+	lz         *lz4Codec
+	lzBuf      []byte         // whole LZ77 stream scratch (encode, mode-1 path)
+	st, sl, so []byte         // split control/literal/offset stream scratch
+	bitBuf     []byte         // encoder bitstream scratch
+	encTab     []uint16       // encode transition table (lazy)
+	decTab     []zstdDecEntry // decode state table (lazy)
+}
+
+// newZstdCodec returns a codec with fresh scratch state.
+func newZstdCodec() *zstdCodec {
+	return &zstdCodec{lz: newLZ4Codec()}
+}
+
+// Name returns "zstd".
+func (*zstdCodec) Name() string { return "zstd" }
+
+// Encode runs the LZ77 stage, splits the match stream into its byte
+// classes and entropy-codes each class where that pays. When splitting
+// does not pay (tiny blocks), the match stream is stored whole under
+// mode 1; the writer's own raw fallback still applies on top whenever
+// the entire result is no smaller than src.
+func (c *zstdCodec) Encode(dst, src []byte) []byte {
+	c.lzBuf = c.lz.Encode(c.lzBuf[:0], src)
+	lzs := c.lzBuf
+	if len(lzs) == 0 {
+		return dst
+	}
+	if !c.split(lzs) {
+		return append(append(dst, zstdModeStored), lzs...)
+	}
+	base := len(dst)
+	dst = append(dst, zstdModeSplit)
+	dst = binary.AppendUvarint(dst, uint64(len(c.st)))
+	dst = binary.AppendUvarint(dst, uint64(len(c.sl)))
+	dst = binary.AppendUvarint(dst, uint64(len(c.so)))
+	dst = c.encodeStream(dst, c.st)
+	dst = c.encodeStream(dst, c.sl)
+	dst = c.encodeStream(dst, c.so)
+	if len(dst)-base >= len(lzs)+1 {
+		dst = append(append(dst[:base], zstdModeStored), lzs...)
+	}
+	return dst
+}
+
+// split parses the lz4-codec stream into c.st (tokens and length
+// extensions), c.sl (literals) and c.so (offset bytes). It returns false
+// on a parse failure, which cannot happen on this package's own encoder
+// output but keeps the caller honest.
+func (c *zstdCodec) split(lzs []byte) bool {
+	t, l, o := c.st[:0], c.sl[:0], c.so[:0]
+	si := 0
+	for si < len(lzs) {
+		tok := lzs[si]
+		si++
+		t = append(t, tok)
+		ll := int(tok >> 4)
+		if ll == 15 {
+			for {
+				if si >= len(lzs) {
+					return false
+				}
+				b := lzs[si]
+				si++
+				t = append(t, b)
+				ll += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		if si+ll > len(lzs) {
+			return false
+		}
+		l = append(l, lzs[si:si+ll]...)
+		si += ll
+		if si == len(lzs) {
+			break // final literal-only sequence
+		}
+		if si+2 > len(lzs) {
+			return false
+		}
+		o = append(o, lzs[si], lzs[si+1])
+		si += 2
+		if tok&15 == 15 {
+			for {
+				if si >= len(lzs) {
+					return false
+				}
+				b := lzs[si]
+				si++
+				t = append(t, b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+	}
+	c.st, c.sl, c.so = t, l, o
+	return true
+}
+
+// encodeStream appends one framed stream: entropy-coded when that saves
+// at least 1/16 over raw (the margin that pays for the decode pass), raw
+// otherwise.
+func (c *zstdCodec) encodeStream(dst []byte, s []byte) []byte {
+	base := len(dst)
+	if len(s) >= zstdMinEntropy {
+		var counts [256]uint32
+		for _, b := range s {
+			counts[b]++
+		}
+		norm := zstdNormalize(&counts, len(s))
+		nbits := c.tansEncode(s, &norm)
+		dst = append(dst, zstdStreamEntropy)
+		dst = zstdAppendNorms(dst, &norm)
+		dst = binary.AppendUvarint(dst, uint64(nbits))
+		dst = append(dst, c.bitBuf...)
+		rawLen := 1 + len(s)
+		if len(dst)-base <= rawLen-rawLen/16 {
+			return dst
+		}
+		dst = dst[:base]
+	}
+	dst = append(dst, zstdStreamRaw)
+	return append(dst, s...)
+}
+
+// zstdNormalize scales a symbol histogram so the counts of present
+// symbols sum to exactly zstdTableSize with every present symbol >= 1.
+func zstdNormalize(counts *[256]uint32, total int) [256]uint16 {
+	var norm [256]uint16
+	assigned, maxSym := 0, 0
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		n := int(uint64(c) * zstdTableSize / uint64(total))
+		if n == 0 {
+			n = 1
+		}
+		norm[s] = uint16(n)
+		assigned += n
+		if c > counts[maxSym] {
+			maxSym = s
+		}
+	}
+	if delta := zstdTableSize - assigned; delta > 0 {
+		norm[maxSym] += uint16(delta)
+		return norm
+	}
+	// The min-1 bumps overshot; shave the excess off the largest norms.
+	// Some norm is always > 1 here: the sum exceeds the table size,
+	// which a table of all-ones (at most 256) cannot.
+	for assigned > zstdTableSize {
+		big := 0
+		for s := range norm {
+			if norm[s] > norm[big] {
+				big = s
+			}
+		}
+		take := assigned - zstdTableSize
+		if t := int(norm[big]) - 1; t < take {
+			take = t
+		}
+		norm[big] -= uint16(take)
+		assigned -= take
+	}
+	return norm
+}
+
+// zstdStep is the coprime stride of the standard FSE spread walk. Both
+// table builders run the same walk, so a symbol's r-th visited state on
+// the encode side is its r-th visited state on the decode side — the
+// only agreement tANS needs, which lets each side build its table in a
+// single fused pass with no intermediate state->symbol array.
+const zstdStep = zstdTableSize>>1 + zstdTableSize>>3 + 3
+
+// zstdAppendNorms serializes a weight table as uvarints with zero runs
+// collapsed: a 0 value is followed by a uvarint counting the extra zeros
+// it stands for, so sparse alphabets (tokens, offset high bytes) cost a
+// few bytes, not 256.
+func zstdAppendNorms(dst []byte, norm *[256]uint16) []byte {
+	for s := 0; s < 256; {
+		if v := norm[s]; v != 0 {
+			dst = binary.AppendUvarint(dst, uint64(v))
+			s++
+			continue
+		}
+		run := 1
+		for s+run < 256 && norm[s+run] == 0 {
+			run++
+		}
+		dst = append(dst, 0)
+		dst = binary.AppendUvarint(dst, uint64(run-1))
+		s += run
+	}
+	return dst
+}
+
+// zstdParseNorms reverses zstdAppendNorms, validating the invariants the
+// decode table's safety proof needs: exactly 256 symbol slots and
+// weights summing to exactly the table size.
+func zstdParseNorms(body []byte) (norm [256]uint16, rest []byte, err error) {
+	s, sum := 0, 0
+	for s < 256 {
+		v, n := binary.Uvarint(body)
+		if n <= 0 || v > zstdTableSize {
+			return norm, body, errZstd
+		}
+		body = body[n:]
+		if v == 0 {
+			r, n := binary.Uvarint(body)
+			if n <= 0 {
+				return norm, body, errZstd
+			}
+			body = body[n:]
+			zeros := int(r) + 1
+			if r > 255 || s+zeros > 256 {
+				return norm, body, errZstd
+			}
+			s += zeros
+			continue
+		}
+		norm[s] = uint16(v)
+		sum += int(v)
+		s++
+	}
+	if sum != zstdTableSize {
+		return norm, body, errZstd
+	}
+	return norm, body, nil
+}
+
+// zstdBitWriter packs values LSB-first into a growing byte slice.
+type zstdBitWriter struct {
+	out  []byte
+	acc  uint64
+	n    uint
+	bits int
+}
+
+// write appends the low nb bits of v.
+func (w *zstdBitWriter) write(v uint32, nb uint) {
+	w.acc |= uint64(v) << w.n
+	w.n += nb
+	w.bits += int(nb)
+	for w.n >= 8 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc >>= 8
+		w.n -= 8
+	}
+}
+
+// flush appends any buffered partial byte.
+func (w *zstdBitWriter) flush() {
+	if w.n > 0 {
+		w.out = append(w.out, byte(w.acc))
+		w.acc, w.n = 0, 0
+	}
+}
+
+// tansEncode entropy-codes s under the given weights into c.bitBuf and
+// returns the exact bit count.
+func (c *zstdCodec) tansEncode(s []byte, norm *[256]uint16) int {
+	var cumul [257]uint32
+	for i := 0; i < 256; i++ {
+		cumul[i+1] = cumul[i] + uint32(norm[i])
+	}
+	if c.encTab == nil {
+		c.encTab = make([]uint16, zstdTableSize)
+	}
+	pos := 0
+	for s := 0; s < 256; s++ {
+		base := cumul[s]
+		for j := uint32(0); j < uint32(norm[s]); j++ {
+			c.encTab[base+j] = uint16(zstdTableSize + pos)
+			pos = (pos + zstdStep) & (zstdTableSize - 1)
+		}
+	}
+	// Walk the stream backwards, rotating over four states by position
+	// mod 4, so the decoder recovers symbols forwards on four overlapped
+	// chains.
+	bw := zstdBitWriter{out: c.bitBuf[:0]}
+	var x [4]uint32
+	x[0], x[1], x[2], x[3] = zstdTableSize, zstdTableSize, zstdTableSize, zstdTableSize
+	for i := len(s) - 1; i >= 0; i-- {
+		sym := s[i]
+		xi := x[i&3]
+		nrm := uint32(norm[sym])
+		nb := uint(zstdTableLog+1) - uint(bits.Len32(nrm))
+		if xi>>nb < nrm {
+			nb--
+		}
+		bw.write(xi&(1<<nb-1), nb)
+		x[i&3] = uint32(c.encTab[cumul[sym]+(xi>>nb)-nrm])
+	}
+	bw.write(x[0]-zstdTableSize, zstdTableLog)
+	bw.write(x[1]-zstdTableSize, zstdTableLog)
+	bw.write(x[2]-zstdTableSize, zstdTableLog)
+	bw.write(x[3]-zstdTableSize, zstdTableLog)
+	bw.flush()
+	c.bitBuf = bw.out
+	return bw.bits
+}
+
+// tansDecode rebuilds the state table from the weights and decodes
+// exactly len(out) symbols from the bitstream. Hostile input is confined
+// by construction: once the weights sum to the table size every state
+// transition lands inside the table, and every bit-read is guarded
+// against the declared bit count.
+//
+// The bit reader works backwards through a 64-bit container: acc holds
+// the stream bits [w, w+64) with stream bit w+t at container bit t, w is
+// byte-aligned, and k counts the unread bits inside the container, so
+// the top k bits of position are at container bits [k-nb, k). A refill
+// realigns w just below the read position; because w is rounded UP to a
+// byte boundary from pos-64, the 8-byte load never passes the last
+// stream byte and no padding copy is needed (streams shorter than the
+// container are staged through a stack pad instead).
+func (c *zstdCodec) tansDecode(out []byte, norm *[256]uint16, stream []byte, nbits int) error {
+	if c.decTab == nil {
+		c.decTab = make([]zstdDecEntry, zstdTableSize)
+	}
+	dt := c.decTab[:zstdTableSize]
+	tpos := 0
+	for s := 0; s < 256; s++ {
+		nv := uint32(norm[s])
+		for x := nv; x < 2*nv; x++ {
+			nb := uint(zstdTableLog+1) - uint(bits.Len32(x))
+			dt[tpos] = zstdDecEntry{base: uint16(x<<nb - zstdTableSize), mask: uint16(1)<<nb - 1, sym: byte(s), nb: byte(nb)}
+			tpos = (tpos + zstdStep) & (zstdTableSize - 1)
+		}
+	}
+	b := stream
+	var pad [8]byte
+	if len(b) < 8 {
+		copy(pad[:], b)
+		b = pad[:]
+	}
+	pos := nbits
+	var acc uint64
+	var k, w int
+	if pos >= 64 {
+		w = ((pos - 64 + 7) >> 3) << 3
+		acc = binary.LittleEndian.Uint64(b[w>>3:])
+		k = pos - w
+	} else {
+		acc = binary.LittleEndian.Uint64(b)
+		k = pos
+	}
+	// The caller guarantees nbits >= 4*zstdTableLog, so the four final
+	// states are inside the first fill.
+	k -= zstdTableLog
+	s3 := uint32(acc>>uint(k)) & (zstdTableSize - 1)
+	k -= zstdTableLog
+	s2 := uint32(acc>>uint(k)) & (zstdTableSize - 1)
+	k -= zstdTableLog
+	s1 := uint32(acc>>uint(k)) & (zstdTableSize - 1)
+	k -= zstdTableLog
+	s0 := uint32(acc>>uint(k)) & (zstdTableSize - 1)
+	pos -= 4 * zstdTableLog
+	n := len(out)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		// One refill covers the iteration: it restores k >= 57 while the
+		// four reads consume at most 4*zstdTableLog bits; only in the
+		// endgame (w == 0) can a hostile stream run dry, which the nb > k
+		// guards catch.
+		if pos >= 64 {
+			w = ((pos - 64 + 7) >> 3) << 3
+			acc = binary.LittleEndian.Uint64(b[w>>3:])
+			k = pos - w
+		} else {
+			w = 0
+			acc = binary.LittleEndian.Uint64(b)
+			k = pos
+		}
+		e := dt[s0]
+		out[i] = e.sym
+		nb := int(e.nb)
+		if nb > k {
+			return errZstd
+		}
+		k -= nb
+		s0 = uint32(e.base) + uint32(acc>>uint(k))&uint32(e.mask)
+		e = dt[s1]
+		out[i+1] = e.sym
+		nb = int(e.nb)
+		if nb > k {
+			return errZstd
+		}
+		k -= nb
+		s1 = uint32(e.base) + uint32(acc>>uint(k))&uint32(e.mask)
+		e = dt[s2]
+		out[i+2] = e.sym
+		nb = int(e.nb)
+		if nb > k {
+			return errZstd
+		}
+		k -= nb
+		s2 = uint32(e.base) + uint32(acc>>uint(k))&uint32(e.mask)
+		e = dt[s3]
+		out[i+3] = e.sym
+		nb = int(e.nb)
+		if nb > k {
+			return errZstd
+		}
+		k -= nb
+		s3 = uint32(e.base) + uint32(acc>>uint(k))&uint32(e.mask)
+		pos = w + k
+	}
+	if i < n {
+		if pos >= 64 {
+			w = ((pos - 64 + 7) >> 3) << 3
+			acc = binary.LittleEndian.Uint64(b[w>>3:])
+			k = pos - w
+		} else {
+			w = 0
+			acc = binary.LittleEndian.Uint64(b)
+			k = pos
+		}
+		s := [4]uint32{s0, s1, s2, s3}
+		for ; i < n; i++ {
+			e := dt[s[i&3]]
+			out[i] = e.sym
+			nb := int(e.nb)
+			if nb > k {
+				return errZstd
+			}
+			k -= nb
+			s[i&3] = uint32(e.base) + uint32(acc>>uint(k))&uint32(e.mask)
+		}
+		pos = w + k
+	}
+	if pos != 0 {
+		return errZstd
+	}
+	return nil
+}
+
+// decodeStream parses one framed stream of raw length n out of body,
+// returning the stream bytes (aliasing body for a raw stream, or the
+// given scratch for an entropy-coded one), the updated scratch, and the
+// remainder of body.
+func (c *zstdCodec) decodeStream(scratch []byte, body []byte, n int) (s, scratch2, rest []byte, err error) {
+	if len(body) < 1 {
+		return nil, scratch, body, errZstd
+	}
+	mode := body[0]
+	body = body[1:]
+	switch mode {
+	case zstdStreamRaw:
+		if len(body) < n {
+			return nil, scratch, body, errZstd
+		}
+		return body[:n], scratch, body[n:], nil
+	case zstdStreamEntropy:
+		if n == 0 {
+			return nil, scratch, body, errZstd
+		}
+		norm, body, err := zstdParseNorms(body)
+		if err != nil {
+			return nil, scratch, body, err
+		}
+		nbits64, vn := binary.Uvarint(body)
+		if vn <= 0 || nbits64 < 4*zstdTableLog || nbits64 > uint64(8*len(body)) {
+			return nil, scratch, body, errZstd
+		}
+		body = body[vn:]
+		blen := int((nbits64 + 7) / 8)
+		if len(body) < blen {
+			return nil, scratch, body, errZstd
+		}
+		if cap(scratch) < n {
+			scratch = make([]byte, n)
+		}
+		s := scratch[:n]
+		if err := c.tansDecode(s, &norm, body[:blen], int(nbits64)); err != nil {
+			return nil, scratch, body, err
+		}
+		return s, scratch, body[blen:], nil
+	}
+	return nil, scratch, body, errZstd
+}
+
+// Decode reverses Encode. Every header field, table weight, bit-read and
+// copy is validated before use: hostile input yields errZstd, never a
+// panic or an out-of-bounds access.
+func (c *zstdCodec) Decode(dst, src []byte) error {
+	if len(src) == 0 {
+		if len(dst) == 0 {
+			return nil
+		}
+		return errZstd
+	}
+	body := src[1:]
+	switch src[0] {
+	case zstdModeStored:
+		return c.lz.Decode(dst, body)
+	case zstdModeSplit:
+	default:
+		return errZstd
+	}
+	// The LZ77 stage expands a block of rawLen bytes by at most one
+	// token plus length extensions per 15-literal run; bound hostile
+	// stream-length claims so scratch stays proportional to the block.
+	maxLZ := len(dst) + len(dst)/15 + 16
+	var lens [3]int
+	for i := range lens {
+		v, n := binary.Uvarint(body)
+		if n <= 0 || v > uint64(maxLZ) {
+			return errZstd
+		}
+		body = body[n:]
+		lens[i] = int(v)
+	}
+	var t, l, o []byte
+	var err error
+	if t, c.st, body, err = c.decodeStream(c.st, body, lens[0]); err != nil {
+		return err
+	}
+	if l, c.sl, body, err = c.decodeStream(c.sl, body, lens[1]); err != nil {
+		return err
+	}
+	if o, c.so, body, err = c.decodeStream(c.so, body, lens[2]); err != nil {
+		return err
+	}
+	if len(body) != 0 {
+		return errZstd
+	}
+	return lzMerge(dst, t, l, o)
+}
+
+// lzMerge is the fused LZ77 decoder over the three split streams: the
+// same sequence walk as the lz4 codec's Decode, with control bytes from
+// t, literal runs from l and match offsets from o. The final sequence is
+// literal-only exactly when the offset stream is exhausted.
+func lzMerge(dst, t, l, o []byte) error {
+	di, ti, li, oi := 0, 0, 0, 0
+	for ti < len(t) {
+		tok := t[ti]
+		ti++
+		ll := int(tok >> 4)
+		if ll == 15 {
+			for {
+				if ti >= len(t) {
+					return errZstd
+				}
+				b := t[ti]
+				ti++
+				ll += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		if ll > 0 {
+			if li+ll > len(l) || di+ll > len(dst) {
+				return errZstd
+			}
+			copy(dst[di:], l[li:li+ll])
+			di += ll
+			li += ll
+		}
+		if oi == len(o) {
+			// Final literal-only sequence: nothing may trail it.
+			if ti != len(t) || li != len(l) {
+				return errZstd
+			}
+			break
+		}
+		if oi+2 > len(o) {
+			return errZstd
+		}
+		offset := int(o[oi]) | int(o[oi+1])<<8
+		oi += 2
+		if offset == 0 || offset > di {
+			return errZstd
+		}
+		ml := int(tok & 15)
+		if ml == 15 {
+			for {
+				if ti >= len(t) {
+					return errZstd
+				}
+				b := t[ti]
+				ti++
+				ml += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		ml += lzMinMatch
+		if di+ml > len(dst) {
+			return errZstd
+		}
+		if offset >= ml {
+			copy(dst[di:di+ml], dst[di-offset:])
+			di += ml
+		} else {
+			// Overlapping match: the source window grows as we copy.
+			for k := 0; k < ml; k++ {
+				dst[di] = dst[di-offset]
+				di++
+			}
+		}
+	}
+	if di != len(dst) || li != len(l) || oi != len(o) {
+		return errZstd
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package spool
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// zstdRoundTrip encodes src, decodes the result and requires equality.
+func zstdRoundTrip(t *testing.T, c *zstdCodec, src []byte) {
+	t.Helper()
+	enc := c.Encode(nil, src)
+	dst := make([]byte, len(src))
+	if err := c.Decode(dst, enc); err != nil {
+		t.Fatalf("decode of %d-byte input (encoded %d): %v", len(src), len(enc), err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip of %d-byte input diverged", len(src))
+	}
+}
+
+// TestZstdRoundTrip covers the two-stage codec across input shapes:
+// inputs small enough that the entropy stage cannot pay (mode 1), skewed
+// and single-symbol streams (degenerate tANS tables), incompressible
+// noise, long runs, and random mixtures — each through one shared codec
+// instance, so scratch reuse across blocks is exercised too.
+func TestZstdRoundTrip(t *testing.T) {
+	c := newZstdCodec()
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]byte{
+		{},
+		{0x42},
+		[]byte("abc"),
+		[]byte("abcdabcdabcdabcd"),
+		bytes.Repeat([]byte{0}, 100_000),      // single-symbol LZ77 residue
+		bytes.Repeat([]byte("spool"), 40_000), // short-period overlap
+		[]byte("the quick brown fox jumps over the lazy dog"),
+	}
+	noise := make([]byte, 70_000)
+	rng.Read(noise)
+	cases = append(cases, noise)
+	mixed := append(bytes.Repeat([]byte("BOOTERS"), 5000), noise[:30_000]...)
+	cases = append(cases, append(mixed, bytes.Repeat([]byte("BOOTERS"), 5000)...))
+	for i := 0; i < 50; i++ {
+		n := rng.Intn(20_000)
+		b := make([]byte, n)
+		for j := 0; j < n; {
+			if rng.Intn(2) == 0 {
+				run := min(rng.Intn(400)+1, n-j)
+				ch := byte(rng.Intn(8))
+				for k := 0; k < run; k++ {
+					b[j+k] = ch
+				}
+				j += run
+			} else {
+				b[j] = byte(rng.Intn(256))
+				j++
+			}
+		}
+		cases = append(cases, b)
+	}
+	for _, src := range cases {
+		zstdRoundTrip(t, c, src)
+	}
+}
+
+// TestZstdBeatsLZ4OnRecordStreams requires the entropy stage to earn its
+// keep on the byte pattern the codec exists for: spooled record streams.
+// The zstd-class encoding must be strictly smaller than the lz4 stage
+// alone on the same block.
+func TestZstdBeatsLZ4OnRecordStreams(t *testing.T) {
+	datagrams := testDatagrams(t, 1, 40)
+	var raw []byte
+	for _, d := range datagrams {
+		var hdr [recordHeaderSize]byte
+		binary.BigEndian.PutUint64(hdr[0:8], uint64(d.Time.UnixNano()))
+		v16 := d.Victim.As16()
+		copy(hdr[8:24], v16[:])
+		binary.BigEndian.PutUint16(hdr[24:26], uint16(d.Port))
+		binary.BigEndian.PutUint32(hdr[26:30], uint32(d.Sensor))
+		binary.BigEndian.PutUint16(hdr[30:32], uint16(len(d.Payload)))
+		raw = append(raw, hdr[:]...)
+		raw = append(raw, d.Payload...)
+	}
+	if len(raw) < 4<<10 {
+		t.Fatalf("degenerate test stream: %d bytes", len(raw))
+	}
+	lz := newLZ4Codec().Encode(nil, raw)
+	z := newZstdCodec().Encode(nil, raw)
+	if len(z) >= len(lz) {
+		t.Errorf("zstd %d bytes >= lz4 %d bytes on a record stream", len(z), len(lz))
+	}
+	zstdRoundTrip(t, newZstdCodec(), raw)
+}
+
+// TestZstdNormalize pins the weight-table invariants the decoder's
+// safety proof rests on: weights sum to exactly the table size and every
+// present symbol keeps a non-zero weight, across skew extremes.
+func TestZstdNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	hists := []func(c *[256]uint32) int{
+		func(c *[256]uint32) int { c[7] = 1; return 1 },             // single symbol
+		func(c *[256]uint32) int { c[0] = 1 << 22; return 1 << 22 }, // single huge
+		func(c *[256]uint32) int { // all 256 present, one dominant
+			total := 0
+			for i := range c {
+				c[i] = 1
+				total++
+			}
+			c[42] += 1 << 20
+			return total + 1<<20
+		},
+		func(c *[256]uint32) int { // random sparse
+			total := 0
+			for i := 0; i < 40; i++ {
+				s, v := rng.Intn(256), uint32(rng.Intn(10_000)+1)
+				c[s] += v
+				total += int(v)
+			}
+			return total
+		},
+	}
+	for i, fill := range hists {
+		var counts [256]uint32
+		total := fill(&counts)
+		norm := zstdNormalize(&counts, total)
+		sum := 0
+		for s := range norm {
+			if counts[s] > 0 && norm[s] == 0 {
+				t.Errorf("hist %d: present symbol %d got weight 0", i, s)
+			}
+			if counts[s] == 0 && norm[s] != 0 {
+				t.Errorf("hist %d: absent symbol %d got weight %d", i, s, norm[s])
+			}
+			sum += int(norm[s])
+		}
+		if sum != zstdTableSize {
+			t.Errorf("hist %d: weights sum to %d, want %d", i, sum, zstdTableSize)
+		}
+	}
+}
+
+// TestZstdDecodeMalformed flips, truncates and extends valid encodings
+// and requires Decode to fail cleanly (or harmlessly succeed) without
+// panicking or touching memory out of bounds.
+func TestZstdDecodeMalformed(t *testing.T) {
+	c := newZstdCodec()
+	// Skewed match-free noise: the LZ77 stage passes it through mostly
+	// as literals, so the entropy stage carries the block (mode 0).
+	rngSrc := rand.New(rand.NewSource(5))
+	src := make([]byte, 60_000)
+	for i := range src {
+		src[i] = byte(rngSrc.ExpFloat64() * 10)
+	}
+	enc := c.Encode(nil, src)
+	if len(enc) >= len(src) {
+		t.Fatal("test input did not compress; corruption coverage would be vacuous")
+	}
+	if enc[0] != zstdModeSplit {
+		t.Fatalf("test input stored under mode %d, want split mode", enc[0])
+	}
+	dst := make([]byte, len(src))
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), enc...)
+		switch rng.Intn(3) {
+		case 0:
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		case 1:
+			mut = mut[:rng.Intn(len(mut))]
+		case 2:
+			mut = append(mut, byte(rng.Intn(256)))
+		}
+		// Must not panic; an error or a (harmless) wrong output are both
+		// acceptable, since block CRCs catch content corruption upstream.
+		c.Decode(dst, mut)
+	}
+	if err := c.Decode(make([]byte, 1), nil); err == nil {
+		t.Error("decode of empty input into non-empty buffer: want error")
+	}
+	if err := c.Decode(nil, nil); err != nil {
+		t.Errorf("decode of empty input into empty buffer: %v", err)
+	}
+}
+
+// FuzzCodecRoundTrip drives every registered codec ID over fuzzed input
+// in both directions: encode→decode must reproduce the input exactly,
+// and decoding the fuzz input as if it were a stored block — at several
+// claimed raw sizes — must never panic or read out of bounds. This is
+// the hostile-decoder guarantee the reader relies on before block CRCs
+// are even checked.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("abcdabcdabcdabcd"))
+	f.Add(bytes.Repeat([]byte("BOOTSPL2"), 64))
+	f.Add(func() []byte {
+		b := make([]byte, 2048)
+		rand.New(rand.NewSource(3)).Read(b)
+		return b
+	}())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range Codecs() {
+			c, err := CodecByName(name)
+			if err != nil {
+				t.Fatalf("CodecByName(%q): %v", name, err)
+			}
+			enc := c.Encode(nil, data)
+			dst := make([]byte, len(data))
+			if err := c.Decode(dst, enc); err != nil {
+				t.Fatalf("%s: decode of own encoding (%d -> %d bytes): %v", name, len(data), len(enc), err)
+			}
+			if !bytes.Equal(dst, data) {
+				t.Fatalf("%s: round trip of %d-byte input diverged", name, len(data))
+			}
+			// Hostile direction: the fuzz input poses as a compressed
+			// block with various claimed raw sizes.
+			for _, rawLen := range []int{0, len(data), 2*len(data) + 17} {
+				c.Decode(make([]byte, rawLen), data)
+			}
+		}
+	})
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package spool
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap reports that this platform has no memory-mapping support
+// compiled in; openSegmentReader falls back to buffered reads.
+var errNoMmap = errors.New("spool: mmap unsupported on this platform")
+
+// mmapSegment always fails on non-unix platforms.
+func mmapSegment(*os.File) ([]byte, error) { return nil, errNoMmap }
+
+// munmapSegment is a no-op on non-unix platforms.
+func munmapSegment([]byte) error { return nil }

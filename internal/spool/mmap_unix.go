@@ -1,0 +1,31 @@
+//go:build unix
+
+package spool
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSegment maps the whole of f read-only and returns the mapping.
+// Spool segments are append-only and never truncated, so a fixed-length
+// read-only shared mapping is safe: bytes appended after the map is
+// taken fall beyond its length and are simply not visible to this
+// reader, which matches the buffered reader's snapshot semantics.
+func mmapSegment(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		// Empty files cannot be mapped; absurd sizes cannot be addressed.
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapSegment releases a mapping returned by mmapSegment. Every slice
+// handed out of the mapping dies with it; the reader's borrowed-payload
+// contract is what makes that sound.
+func munmapSegment(b []byte) error { return syscall.Munmap(b) }

@@ -16,26 +16,45 @@ import (
 	"booters/internal/ingest"
 )
 
+// disableMmap forces every segment reader onto the buffered fallback
+// path. It exists for tests (the mmap/fallback equivalence properties)
+// and must only be flipped while no reader is open.
+var disableMmap bool
+
 // segmentReader streams one segment file, v1 or v2, detected from the
 // magic. next returns io.EOF at a clean end — for v2, only after the
 // trailer has been read, its checksums verified and its record count
 // matched against the records actually decoded — and an error wrapping
 // ErrCorrupt for anything torn or inconsistent.
+//
+// The segment is memory-mapped when the platform allows it: codec-none
+// blocks (and raw-stored blocks inside compressed segments) are then
+// sliced straight out of the mapping with no copy, and compressed
+// blocks decode into one per-reader buffer reused across blocks. The
+// buffered fallback reuses the same buffers, so neither path allocates
+// per block in steady state. The price is the borrowed-payload
+// contract: every payload next returns aliases either the mapping or
+// the reused decode buffer and is only valid until the following next
+// or close call.
 type segmentReader struct {
 	path    string
 	f       *os.File
-	br      *bufio.Reader
+	mm      []byte        // whole segment, memory-mapped; nil on the fallback path
+	pos     int           // read cursor into mm
+	br      *bufio.Reader // buffered fallback; nil when mm is live
 	version int
 	codec   Codec
 
 	crc     uint32 // running CRC over v2 block bytes
-	raw     []byte // decoded current block; records alias into it
+	raw     []byte // current block: a mapping slice or rawBuf
 	off     int
-	stored  []byte // compressed-block scratch, reused
+	rawBuf  []byte // reused block decode buffer
+	stored  []byte // compressed-block scratch, reused (fallback path)
+	v1Buf   []byte // reused v1 payload buffer (fallback path)
 	records uint64
 	done    bool
 
-	hdr [recordHeaderSize]byte // v1 header scratch
+	hdr [recordHeaderSize]byte // header scratch (fallback path)
 }
 
 // openSegmentReader opens one segment and parses its header.
@@ -44,31 +63,85 @@ func openSegmentReader(path string) (*segmentReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spool: %w", err)
 	}
-	sr := &segmentReader{path: path, f: f, br: bufio.NewReaderSize(f, 256<<10)}
-	var head [8]byte
-	if _, err := io.ReadFull(sr.br, head[:]); err != nil {
-		f.Close()
+	sr := &segmentReader{path: path, f: f}
+	if !disableMmap {
+		if mm, err := mmapSegment(f); err == nil {
+			sr.mm = mm
+		}
+	}
+	if sr.mm == nil {
+		sr.br = bufio.NewReaderSize(f, 256<<10)
+	}
+	var headBuf [segHeaderSize]byte
+	head, err := sr.read(8, headBuf[:8])
+	if err != nil {
+		sr.close()
 		return nil, sr.corrupt("segment header cut off")
 	}
-	switch string(head[:]) {
+	switch string(head) {
 	case magicV1:
 		sr.version = 1
 	case magicV2:
 		sr.version = 2
-		var rest [segHeaderSize - 8]byte
-		if _, err := io.ReadFull(sr.br, rest[:]); err != nil {
-			f.Close()
+		rest, err := sr.read(segHeaderSize-8, headBuf[8:])
+		if err != nil {
+			sr.close()
 			return nil, sr.corrupt("segment header cut off")
 		}
 		if sr.codec, err = codecByID(rest[0]); err != nil {
-			f.Close()
+			sr.close()
 			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
 		}
 	default:
-		f.Close()
+		sr.close()
 		return nil, sr.corrupt("bad magic")
 	}
 	return sr, nil
+}
+
+// read returns the segment's next n bytes with io.ReadFull semantics:
+// io.EOF when the segment ends exactly here, io.ErrUnexpectedEOF when
+// it ends mid-read. On the mapped path the returned slice aliases the
+// mapping (zero copy; scratch is unused and may be nil); on the
+// buffered path the bytes are read into scratch, which must hold n.
+func (sr *segmentReader) read(n int, scratch []byte) ([]byte, error) {
+	if sr.mm != nil {
+		rem := len(sr.mm) - sr.pos
+		if rem == 0 {
+			return nil, io.EOF
+		}
+		if rem < n {
+			sr.pos = len(sr.mm)
+			return nil, io.ErrUnexpectedEOF
+		}
+		b := sr.mm[sr.pos : sr.pos+n : sr.pos+n]
+		sr.pos += n
+		return b, nil
+	}
+	b := scratch[:n]
+	if _, err := io.ReadFull(sr.br, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// atEnd reports whether the segment has no bytes left, consuming one
+// byte on the buffered path if it does not (only called after the
+// trailer, where any remaining byte is already a corruption).
+func (sr *segmentReader) atEnd() bool {
+	if sr.mm != nil {
+		return sr.pos == len(sr.mm)
+	}
+	_, err := sr.br.ReadByte()
+	return err == io.EOF
+}
+
+// growRaw returns the reusable block decode buffer sized to n.
+func (sr *segmentReader) growRaw(n int) []byte {
+	if cap(sr.rawBuf) < n {
+		sr.rawBuf = make([]byte, n)
+	}
+	return sr.rawBuf[:n]
 }
 
 // corruptError is a segment-scoped corruption diagnosis. It unwraps to
@@ -100,7 +173,8 @@ func (sr *segmentReader) corrupt(format string, args ...any) error {
 }
 
 // next returns the segment's next datagram, io.EOF at its verified end,
-// or an error wrapping ErrCorrupt.
+// or an error wrapping ErrCorrupt. The datagram's payload is borrowed —
+// valid only until the next call to next or close.
 func (sr *segmentReader) next() (ingest.Datagram, error) {
 	if sr.done {
 		return ingest.Datagram{}, io.EOF
@@ -122,9 +196,8 @@ func (sr *segmentReader) next() (ingest.Datagram, error) {
 		if sr.off+plen > len(sr.raw) {
 			return ingest.Datagram{}, sr.corrupt("record payload crosses block boundary")
 		}
-		// The payload aliases the block buffer, which is freshly
-		// allocated per block and never reused, so the slice stays valid
-		// for as long as the caller keeps the datagram.
+		// Borrowed: aliases the current block (a mapping slice or the
+		// reused decode buffer), which the next readBlock replaces.
 		d.Payload = sr.raw[sr.off : sr.off+plen : sr.off+plen]
 		sr.off += plen
 	}
@@ -135,19 +208,20 @@ func (sr *segmentReader) next() (ingest.Datagram, error) {
 // readBlock reads the next v2 block frame into sr.raw, or verifies the
 // trailer and returns io.EOF at the segment's end.
 func (sr *segmentReader) readBlock() error {
-	var lead [4]byte
-	if _, err := io.ReadFull(sr.br, lead[:]); err != nil {
+	var hbuf [blockHeaderSize]byte
+	lead, err := sr.read(4, hbuf[:4])
+	if err != nil {
 		if err == io.EOF {
 			return sr.corrupt("trailer missing (torn segment)")
 		}
 		return sr.corrupt("block header cut off")
 	}
-	if bytes.Equal(lead[:], []byte(trailerMagic)[:4]) {
+	if bytes.Equal(lead, []byte(trailerMagic)[:4]) {
 		return sr.readTrailer(lead)
 	}
-	storedLen := int(binary.BigEndian.Uint32(lead[:]))
-	var rest [blockHeaderSize - 4]byte
-	if _, err := io.ReadFull(sr.br, rest[:]); err != nil {
+	storedLen := int(binary.BigEndian.Uint32(lead))
+	rest, err := sr.read(blockHeaderSize-4, hbuf[4:])
+	if err != nil {
 		return sr.corrupt("block header cut off")
 	}
 	rawLen := int(binary.BigEndian.Uint32(rest[0:4]))
@@ -155,28 +229,40 @@ func (sr *segmentReader) readBlock() error {
 	if rawLen <= 0 || rawLen > maxBlockRaw || storedLen <= 0 || storedLen > rawLen {
 		return sr.corrupt("implausible block frame (stored=%d raw=%d)", storedLen, rawLen)
 	}
-	// The raw buffer is freshly allocated per block because records
-	// alias into it. A raw-stored block (stored == raw) is read straight
-	// into it, sparing the whole-stream extra copy on the uncompressed
-	// path; a compressed one goes via the reusable scratch buffer.
-	sr.raw = make([]byte, rawLen)
-	stored := sr.raw
-	if storedLen != rawLen {
-		if cap(sr.stored) < storedLen {
-			sr.stored = make([]byte, storedLen)
+	// Acquire the stored bytes. Mapped: slice the mapping — for a
+	// raw-stored block that slice IS the block, the zero-copy fast path.
+	// Buffered: raw-stored blocks land directly in the reusable decode
+	// buffer, compressed ones in the stored scratch. Either way no
+	// allocation in steady state; records alias whatever sr.raw ends up
+	// pointing at, under the borrowed-payload contract.
+	var stored []byte
+	if sr.mm != nil {
+		if stored, err = sr.read(storedLen, nil); err != nil {
+			return sr.corrupt("block cut off")
 		}
-		stored = sr.stored[:storedLen]
+	} else {
+		if storedLen == rawLen {
+			stored = sr.growRaw(rawLen)
+		} else {
+			if cap(sr.stored) < storedLen {
+				sr.stored = make([]byte, storedLen)
+			}
+			stored = sr.stored[:storedLen]
+		}
+		if _, err := io.ReadFull(sr.br, stored); err != nil {
+			return sr.corrupt("block cut off")
+		}
 	}
-	if _, err := io.ReadFull(sr.br, stored); err != nil {
-		return sr.corrupt("block cut off")
-	}
-	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, lead[:])
-	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, rest[:])
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, lead)
+	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, rest)
 	sr.crc = crc32.Update(sr.crc, crc32.IEEETable, stored)
 	if crc32.ChecksumIEEE(stored) != blockCRC {
 		return sr.corrupt("block checksum mismatch")
 	}
-	if storedLen != rawLen {
+	if storedLen == rawLen {
+		sr.raw = stored
+	} else {
+		sr.raw = sr.growRaw(rawLen)
 		if err := sr.codec.Decode(sr.raw, stored); err != nil {
 			return sr.corrupt("%v", err)
 		}
@@ -187,12 +273,14 @@ func (sr *segmentReader) readBlock() error {
 
 // readTrailer consumes and verifies the 48-byte trailer whose first four
 // bytes are already in lead, then confirms the file ends there.
-func (sr *segmentReader) readTrailer(lead [4]byte) error {
+func (sr *segmentReader) readTrailer(lead []byte) error {
 	var tr [trailerSize]byte
-	copy(tr[:4], lead[:])
-	if _, err := io.ReadFull(sr.br, tr[4:]); err != nil {
+	copy(tr[:4], lead)
+	rest, err := sr.read(trailerSize-4, tr[4:])
+	if err != nil {
 		return sr.corrupt("trailer cut off")
 	}
+	copy(tr[4:], rest)
 	if string(tr[:8]) != trailerMagic {
 		return sr.corrupt("bad trailer magic")
 	}
@@ -205,17 +293,19 @@ func (sr *segmentReader) readTrailer(lead [4]byte) error {
 	if n := binary.BigEndian.Uint64(tr[8:16]); n != sr.records {
 		return sr.corrupt("trailer records %d, decoded %d", n, sr.records)
 	}
-	if _, err := sr.br.ReadByte(); err != io.EOF {
+	if !sr.atEnd() {
 		return sr.corrupt("trailing bytes after trailer")
 	}
 	sr.done = true
 	return io.EOF
 }
 
-// nextV1 reads one bare v1 record straight off the file.
+// nextV1 reads one bare v1 record straight off the file. Mapped
+// segments slice the payload out of the mapping; the fallback reuses
+// one payload buffer — borrowed either way.
 func (sr *segmentReader) nextV1() (ingest.Datagram, error) {
-	b := sr.hdr[:]
-	if _, err := io.ReadFull(sr.br, b); err != nil {
+	b, err := sr.read(recordHeaderSize, sr.hdr[:])
+	if err != nil {
 		if err == io.EOF {
 			// Clean record boundary: a v1 segment has no trailer, so
 			// this is the best "end" the format can attest.
@@ -226,17 +316,35 @@ func (sr *segmentReader) nextV1() (ingest.Datagram, error) {
 	}
 	d, plen := decodeRecordHeader(b)
 	if plen > 0 {
-		d.Payload = make([]byte, plen)
-		if _, err := io.ReadFull(sr.br, d.Payload); err != nil {
-			return ingest.Datagram{}, sr.corrupt("record payload cut off")
+		if sr.mm != nil {
+			if d.Payload, err = sr.read(plen, nil); err != nil {
+				return ingest.Datagram{}, sr.corrupt("record payload cut off")
+			}
+		} else {
+			if cap(sr.v1Buf) < plen {
+				sr.v1Buf = make([]byte, plen)
+			}
+			d.Payload = sr.v1Buf[:plen:plen]
+			if _, err := io.ReadFull(sr.br, d.Payload); err != nil {
+				return ingest.Datagram{}, sr.corrupt("record payload cut off")
+			}
 		}
 	}
 	sr.records++
 	return d, nil
 }
 
-// close releases the segment file.
+// close releases the segment file and its mapping. Any payload borrowed
+// from this segment is invalid afterwards.
 func (sr *segmentReader) close() error {
+	if sr.mm != nil {
+		munmapSegment(sr.mm)
+		sr.mm = nil
+		// sr.raw may alias the dead mapping; drop it so a misuse fails
+		// loudly instead of reading unmapped memory.
+		sr.raw = nil
+		sr.off = 0
+	}
 	if sr.f == nil {
 		return nil
 	}
@@ -349,6 +457,13 @@ func OpenAt(dir string, offset uint64) (*Reader, error) {
 // Next returns the next datagram in spool order, io.EOF after the last
 // one, or an error wrapping ErrCorrupt for a cut-off or inconsistent
 // segment.
+//
+// The datagram's Payload is borrowed: it aliases the reader's current
+// decoded block — a memory-mapped segment slice or a reused decode
+// buffer — and is valid only until the next call to Next or Close. A
+// caller that stores payloads past that point must copy them
+// (append([]byte(nil), d.Payload...)). The fixed fields (Time, Victim,
+// Port, Sensor) are plain values and safe to keep.
 func (r *Reader) Next() (ingest.Datagram, error) {
 	if r.sr == nil {
 		return ingest.Datagram{}, io.EOF
@@ -381,7 +496,8 @@ func (r *Reader) Count() uint64 { return r.n }
 // Feeding it back into OpenAt resumes the replay exactly here.
 func (r *Reader) Offset() uint64 { return r.base + r.n }
 
-// Close releases the reader's current segment file.
+// Close releases the reader's current segment file and invalidates any
+// payload borrowed from the last Next.
 func (r *Reader) Close() error {
 	if r.sr == nil {
 		return nil
@@ -396,6 +512,9 @@ func (r *Reader) Close() error {
 // corruption fails the replay with an error wrapping ErrCorrupt. Use
 // ReplayWindow for time windows, parallel segment readers, or replays
 // that should survive a torn tail and report it instead.
+//
+// Payloads are borrowed for the duration of each fn call (see
+// Reader.Next); fn must copy any payload it keeps.
 func Replay(dir string, fn func(ingest.Datagram) error) error {
 	r, err := Open(dir)
 	if err != nil {

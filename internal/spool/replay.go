@@ -123,6 +123,11 @@ const segTaskDepth = 4
 // Unless opts.Strict is set, corruption never fails the replay: every
 // complete record before a tear is delivered and the loss is reported in
 // the stats, so one torn segment cannot cost the rest of a capture.
+//
+// Payloads are borrowed for the duration of each fn call (see
+// Reader.Next): they alias a reader's mapped segment or reused decode
+// buffer — or, in the parallel ordered mode, a pooled batch arena — and
+// are recycled as soon as fn returns. fn must copy any payload it keeps.
 func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error) (*ReplayStats, error) {
 	stats := &ReplayStats{}
 	idx, err := LoadIndex(dir)
@@ -261,12 +266,37 @@ func replaySequential(dir string, scan []*SegmentInfo, from, to int64, strict bo
 	return nil
 }
 
+// replayBatch carries up to replayBatchLen records through the parallel
+// replay's channel hand-off, plus the arena their payload bytes are
+// copied into. Payloads coming out of a segment scan are borrows that
+// die with the reader's next block, but a parallel batch outlives the
+// block cursor inside its segment channel, so add copies each payload
+// into the batch's own arena. Batches (and their arenas) are pooled, so
+// the copy costs a memmove, not an allocation.
+type replayBatch struct {
+	recs []ingest.Datagram
+	buf  []byte
+}
+
+// add appends d, re-homing its payload into the batch arena.
+func (b *replayBatch) add(d ingest.Datagram) {
+	if len(d.Payload) > 0 {
+		n := len(b.buf)
+		b.buf = append(b.buf, d.Payload...)
+		// If the append grew the arena, earlier records still point into
+		// the previous backing array, which stays alive as long as they
+		// do — correct, just briefly less compact until the pool warms.
+		d.Payload = b.buf[n : n+len(d.Payload) : n+len(d.Payload)]
+	}
+	b.recs = append(b.recs, d)
+}
+
 // segTask carries one segment through the parallel replay: a worker
 // fills ch with record batches and stamps the outcome fields, all of
 // which become visible to the sequencer when ch is closed.
 type segTask struct {
 	info *SegmentInfo
-	ch   chan []ingest.Datagram
+	ch   chan *replayBatch
 
 	read, filtered uint64
 	scanErr        error
@@ -283,7 +313,7 @@ type segTask struct {
 func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, m *replayMetrics, fn func(ingest.Datagram) error) error {
 	tasks := make([]*segTask, len(scan))
 	for i, info := range scan {
-		tasks[i] = &segTask{info: info, ch: make(chan []ingest.Datagram, segTaskDepth)}
+		tasks[i] = &segTask{info: info, ch: make(chan *replayBatch, segTaskDepth)}
 	}
 	workers := opts.Workers
 	if workers > len(tasks) {
@@ -296,11 +326,14 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 	stop := make(chan struct{})
 	var next atomic.Int64
 	var pool sync.Pool
-	getBatch := func() []ingest.Datagram {
+	getBatch := func() *replayBatch {
 		if v := pool.Get(); v != nil {
-			return (*v.(*[]ingest.Datagram))[:0]
+			b := v.(*replayBatch)
+			b.recs = b.recs[:0]
+			b.buf = b.buf[:0]
+			return b
 		}
-		return make([]ingest.Datagram, 0, replayBatchLen)
+		return &replayBatch{recs: make([]ingest.Datagram, 0, replayBatchLen)}
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -323,8 +356,8 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 				batch := getBatch()
 				aborted := false
 				t.read, t.filtered, t.scanErr, _ = scanSegment(idxPath(dir, t.info), from, to, func(d ingest.Datagram) error {
-					batch = append(batch, d)
-					if len(batch) == replayBatchLen {
+					batch.add(d)
+					if len(batch.recs) == replayBatchLen {
 						select {
 						case t.ch <- batch:
 							batch = getBatch()
@@ -335,7 +368,7 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 					}
 					return nil
 				})
-				if !aborted && len(batch) > 0 {
+				if !aborted && len(batch.recs) > 0 {
 					select {
 					case t.ch <- batch:
 					case <-stop:
@@ -359,16 +392,16 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 	}
 	for _, t := range tasks {
 		for batch := range t.ch {
-			for _, d := range batch {
+			for _, d := range batch.recs {
 				if err := fn(d); err != nil {
 					return abort(err)
 				}
 				stats.Records++
 			}
 			if m != nil {
-				m.records.Add(0, uint64(len(batch)))
+				m.records.Add(0, uint64(len(batch.recs)))
 			}
-			pool.Put(&batch)
+			pool.Put(batch)
 		}
 		// The channel close happens after the worker's final field
 		// writes, so the outcome is safely visible here.

@@ -31,11 +31,13 @@ func testCodecs(t *testing.T) []Codec {
 	return cs
 }
 
-// collectReplay runs ReplayWindow and gathers the delivered datagrams.
+// collectReplay runs ReplayWindow and gathers the delivered datagrams,
+// copying each borrowed payload since the collection outlives the call.
 func collectReplay(t *testing.T, dir string, opts ReplayOptions) ([]ingest.Datagram, *ReplayStats) {
 	t.Helper()
 	var got []ingest.Datagram
 	stats, err := ReplayWindow(dir, opts, func(d ingest.Datagram) error {
+		d.Payload = append([]byte(nil), d.Payload...)
 		got = append(got, d)
 		return nil
 	})
@@ -477,7 +479,11 @@ func TestV1SpoolStillReadable(t *testing.T) {
 	writeV1Spool(t, dir, datagrams, 500)
 
 	var got []ingest.Datagram
-	if err := Replay(dir, func(d ingest.Datagram) error { got = append(got, d); return nil }); err != nil {
+	if err := Replay(dir, func(d ingest.Datagram) error {
+		d.Payload = append([]byte(nil), d.Payload...) // borrowed; collection outlives the call
+		got = append(got, d)
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	sameDatagrams(t, got, datagrams)

@@ -35,6 +35,7 @@ func collectUnordered(t *testing.T, dir string, opts ReplayOptions) ([]ingest.Da
 		if ns := d.Time.UnixNano(); ns < lastMark.Load() {
 			t.Errorf("datagram at %v delivered behind the watermark %v", d.Time, time.Unix(0, lastMark.Load()).UTC())
 		}
+		d.Payload = append([]byte(nil), d.Payload...) // borrowed; collection outlives the call
 		mu.Lock()
 		got = append(got, d)
 		mu.Unlock()
@@ -147,54 +148,56 @@ func TestUnorderedReplayPanelEquivalence(t *testing.T) {
 	if want.Stats.Attacks == 0 {
 		t.Fatal("degenerate reference panel")
 	}
-	dir := filepath.Join(t.TempDir(), "spool")
-	record(t, dir, ingest.Datagrams(packets), Options{SegmentBytes: 32 << 10, Codec: newLZ4Codec()})
-	idx, err := LoadIndex(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for seed := int64(0); seed < 4; seed++ {
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			in, err := ingest.New(cfg(4, true))
-			if err != nil {
-				t.Fatal(err)
-			}
-			src := in.RegisterSource()
-			opts := ReplayOptions{Workers: 4, Unordered: true, OnWatermark: src.Advance}
-			if seed > 0 {
-				opts.testClaimOrder = rand.New(rand.NewSource(seed)).Perm(len(idx.Segments))
-			}
-			stats, err := ReplayWindow(dir, opts, func(d ingest.Datagram) error {
-				return in.IngestDatagram(d)
+	for _, codec := range testCodecs(t) {
+		dir := filepath.Join(t.TempDir(), "spool")
+		record(t, dir, ingest.Datagrams(packets), Options{SegmentBytes: 32 << 10, Codec: codec})
+		idx, err := LoadIndex(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("codec=%s/seed=%d", codec.Name(), seed), func(t *testing.T) {
+				in, err := ingest.New(cfg(4, true))
+				if err != nil {
+					t.Fatal(err)
+				}
+				src := in.RegisterSource()
+				opts := ReplayOptions{Workers: 4, Unordered: true, OnWatermark: src.Advance}
+				if seed > 0 {
+					opts.testClaimOrder = rand.New(rand.NewSource(seed)).Perm(len(idx.Segments))
+				}
+				stats, err := ReplayWindow(dir, opts, func(d ingest.Datagram) error {
+					return in.IngestDatagram(d)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.Records != uint64(len(packets)) {
+					t.Fatalf("replayed %d datagrams, want %d", stats.Records, len(packets))
+				}
+				src.Close()
+				got, err := in.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Stats, want.Stats) {
+					t.Errorf("stats: got %+v want %+v", got.Stats, want.Stats)
+				}
+				if !reflect.DeepEqual(got.Global.Values, want.Global.Values) {
+					t.Errorf("global series diverged from batch reference")
+				}
+				for c, ws := range want.ByCountry {
+					if !reflect.DeepEqual(got.ByCountry[c].Values, ws.Values) {
+						t.Errorf("country %s series diverged", c)
+					}
+				}
+				for p, ws := range want.ByProtocol {
+					if !reflect.DeepEqual(got.ByProtocol[p].Values, ws.Values) {
+						t.Errorf("protocol %v series diverged", p)
+					}
+				}
 			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if stats.Records != uint64(len(packets)) {
-				t.Fatalf("replayed %d datagrams, want %d", stats.Records, len(packets))
-			}
-			src.Close()
-			got, err := in.Close()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(got.Stats, want.Stats) {
-				t.Errorf("stats: got %+v want %+v", got.Stats, want.Stats)
-			}
-			if !reflect.DeepEqual(got.Global.Values, want.Global.Values) {
-				t.Errorf("global series diverged from batch reference")
-			}
-			for c, ws := range want.ByCountry {
-				if !reflect.DeepEqual(got.ByCountry[c].Values, ws.Values) {
-					t.Errorf("country %s series diverged", c)
-				}
-			}
-			for p, ws := range want.ByProtocol {
-				if !reflect.DeepEqual(got.ByProtocol[p].Values, ws.Values) {
-					t.Errorf("protocol %v series diverged", p)
-				}
-			}
-		})
+		}
 	}
 }
 

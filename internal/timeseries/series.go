@@ -92,9 +92,34 @@ func (s *Series) Index(w Week) int {
 	return i
 }
 
+// week is the exact length of a UTC week; weeks never cross a DST shift
+// because the series calendar is pinned to UTC.
+const week = 7 * 24 * time.Hour
+
+// mondayOffset is the distance from a week boundary of the Unix epoch
+// (which fell on a Thursday) to the following Monday midnight.
+const mondayOffset = 4 * 24 * time.Hour
+
 // IndexOfTime returns the index of the week containing t, or -1 if outside
-// the series.
-func (s *Series) IndexOfTime(t time.Time) int { return s.Index(WeekOf(t)) }
+// the series. For the canonical Monday-aligned series (everything WeekOf
+// and NewSeries produce) the index reduces to one duration division; the
+// calendar breakdown WeekOf performs is measurable when this runs once per
+// closed flow on the ingest hot path.
+func (s *Series) IndexOfTime(t time.Time) int {
+	start := s.StartWeek.Start
+	if n := start.UnixNano(); n%int64(week) == int64(mondayOffset) {
+		d := t.Sub(start)
+		if d < 0 {
+			return -1
+		}
+		i := int(d / week)
+		if i >= len(s.Values) {
+			return -1
+		}
+		return i
+	}
+	return s.Index(WeekOf(t))
+}
 
 // Add accumulates v into the week containing t; it is a no-op when t falls
 // outside the series.

@@ -10,13 +10,19 @@
 //	go test -bench 'Ingest1Shard' -benchtime 1x . | benchjson -note "PR 6" -out BENCH_PR6.json
 //	benchjson -in bench.txt -compare BenchmarkIngest1Shard,BenchmarkIngest1ShardMetrics \
 //	          -metric ns/op -max-delta-pct 3
+//	benchjson -in bench.txt -out /dev/null \
+//	          -assert 'BenchmarkIngestSteadyState:allocs/op<=2' \
+//	          -assert 'BenchmarkSpoolReadSteadyRecord:allocs/op<=2'
 //
 // The parser keeps every `value unit` pair a benchmark line reports
 // (ns/op, B/op, allocs/op and custom b.ReportMetric units alike), keyed
 // by unit. -compare A,B computes the relative delta of B against A on
 // -metric and exits non-zero when it exceeds -max-delta-pct — "B may be
 // at most P percent worse than A" for cost-like metrics where bigger is
-// worse.
+// worse. -assert (repeatable) gates a single benchmark's metric against
+// an absolute bound: `NAME:METRIC<=VALUE` for cost-like metrics
+// (allocs/op being the motivating case — a budget of 2 must not quietly
+// become 2000), `NAME:METRIC>=VALUE` for throughput floors.
 package main
 
 import (
@@ -67,6 +73,11 @@ func main() {
 	compare := flag.String("compare", "", "two benchmark names A,B to compare (exit 1 on regression)")
 	metric := flag.String("metric", "ns/op", "metric unit for -compare (bigger = worse)")
 	maxDelta := flag.Float64("max-delta-pct", 3, "fail -compare when B is more than this percent worse than A")
+	var asserts []string
+	flag.Func("assert", "absolute bound NAME:METRIC<=VALUE or NAME:METRIC>=VALUE (repeatable, exit 1 when violated)", func(s string) error {
+		asserts = append(asserts, s)
+		return nil
+	})
 	flag.Parse()
 
 	doc, err := parse(*in)
@@ -85,6 +96,49 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	for _, spec := range asserts {
+		if err := assertBound(doc, spec); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// assertRe splits one -assert spec into name, metric, operator and bound.
+// The metric match is lazy so the operator anchors the split even though
+// metric units themselves contain '/'.
+var assertRe = regexp.MustCompile(`^([^:]+):(.+?)(<=|>=)(.+)$`)
+
+// assertBound enforces one absolute per-metric bound. Like gate, the
+// verdict goes to stderr either way so CI logs record the measured value
+// next to its budget.
+func assertBound(doc *Document, spec string) error {
+	m := assertRe.FindStringSubmatch(spec)
+	if m == nil {
+		return fmt.Errorf("bad -assert %q (want NAME:METRIC<=VALUE or NAME:METRIC>=VALUE)", spec)
+	}
+	name, metric, op := strings.TrimSpace(m[1]), strings.TrimSpace(m[2]), m[3]
+	bound, err := strconv.ParseFloat(strings.TrimSpace(m[4]), 64)
+	if err != nil {
+		return fmt.Errorf("bad -assert bound in %q: %v", spec, err)
+	}
+	res, ok := doc.Benchmarks[name]
+	if !ok {
+		return fmt.Errorf("-assert: benchmark %q not in input", name)
+	}
+	v, ok := res.Metrics[metric]
+	if !ok {
+		return fmt.Errorf("-assert: benchmark %q has no %q metric", name, metric)
+	}
+	holds := (op == "<=" && v <= bound) || (op == ">=" && v >= bound)
+	verdict := "ok"
+	if !holds {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: assert %s %s: %v %s %v: %s\n", name, metric, v, op, bound, verdict)
+	if !holds {
+		return fmt.Errorf("assert failed: %s %s is %v, want %s %v", name, metric, v, op, bound)
+	}
+	return nil
 }
 
 // parse reads `go test -bench` output from path (or stdin) and collects
