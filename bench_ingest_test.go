@@ -23,6 +23,7 @@ import (
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/spool"
 )
 
@@ -69,7 +70,9 @@ func benchIngestConfig(shards int) ingest.Config {
 // registry — the per-packet hot path then pays its one uncontended
 // atomic add — so benchjson can gate the instrumentation overhead
 // (BenchmarkIngest1Shard vs BenchmarkIngest1ShardMetrics, ≤3% ns/op).
-func runIngestBenchmark(b *testing.B, shards int, withMetrics bool) {
+// withTrace attaches a sampling tracer (1 batch in 16) the same way, so
+// the same gate covers the flight recorder's sampled overhead.
+func runIngestBenchmark(b *testing.B, shards int, withMetrics, withTrace bool) {
 	packets := benchIngestStream(b)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -77,6 +80,11 @@ func runIngestBenchmark(b *testing.B, shards int, withMetrics bool) {
 		cfg := benchIngestConfig(shards)
 		if withMetrics {
 			cfg.Metrics = obs.NewRegistry()
+		}
+		if withTrace {
+			// Slow-span promotion off: the gate measures steady sampling
+			// cost, not one scheduler hiccup's log line.
+			cfg.Trace = trace.New(trace.Config{SampleEvery: 16, SlowThreshold: -1})
 		}
 		in, err := ingest.New(cfg)
 		if err != nil {
@@ -99,21 +107,32 @@ func runIngestBenchmark(b *testing.B, shards int, withMetrics bool) {
 				b.Fatalf("metrics counted %v packets, want %d", got, len(packets))
 			}
 		}
+		if withTrace {
+			if len(cfg.Trace.Snapshot()) == 0 {
+				b.Fatal("tracing on but no spans recorded")
+			}
+		}
 	}
 	b.ReportMetric(float64(len(packets))*float64(b.N)/b.Elapsed().Seconds(), "packets/sec")
 	b.ReportMetric(float64(len(packets)), "packets/op")
 }
 
-func BenchmarkIngest1Shard(b *testing.B) { runIngestBenchmark(b, 1, false) }
-func BenchmarkIngest4Shard(b *testing.B) { runIngestBenchmark(b, 4, false) }
+func BenchmarkIngest1Shard(b *testing.B) { runIngestBenchmark(b, 1, false, false) }
+func BenchmarkIngest4Shard(b *testing.B) { runIngestBenchmark(b, 4, false, false) }
 func BenchmarkIngestMaxShard(b *testing.B) {
-	runIngestBenchmark(b, runtime.GOMAXPROCS(0), false)
+	runIngestBenchmark(b, runtime.GOMAXPROCS(0), false, false)
 }
 
 // Metrics-on twins: the same replay with the registry attached. CI's
 // bench smoke compares these against the plain runs via benchjson.
-func BenchmarkIngest1ShardMetrics(b *testing.B) { runIngestBenchmark(b, 1, true) }
-func BenchmarkIngest4ShardMetrics(b *testing.B) { runIngestBenchmark(b, 4, true) }
+func BenchmarkIngest1ShardMetrics(b *testing.B) { runIngestBenchmark(b, 1, true, false) }
+func BenchmarkIngest4ShardMetrics(b *testing.B) { runIngestBenchmark(b, 4, true, false) }
+
+// Tracing-on twins: the same replay with the flight recorder sampling 1
+// batch in 16. CI gates BenchmarkIngest1Shard vs
+// BenchmarkIngest1ShardTraced the same way (≤3% ns/op).
+func BenchmarkIngest1ShardTraced(b *testing.B) { runIngestBenchmark(b, 1, false, true) }
+func BenchmarkIngest4ShardTraced(b *testing.B) { runIngestBenchmark(b, 4, false, true) }
 
 // BenchmarkIngestBatchBaseline runs the same replay through the
 // single-threaded batch reference — the number the sharded pipeline has to

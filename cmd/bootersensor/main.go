@@ -10,7 +10,8 @@
 //	bootersensor -collector HOST:PORT [-token TOK] [-sensor N]
 //	             [-spool DIR | -scenario NAME|FILE | -seed N -weeks N -attacks N]
 //	             [-batch N] [-heartbeat DUR] [-linger DUR]
-//	             [-pprof ADDR] [-progress DUR]
+//	             [-pprof ADDR] [-progress DUR] [-log SPEC]
+//	             [-trace-sample N] [-trace-slow DUR]
 //
 // -spool DIR ships an existing spool directory (recorded with
 // booterserve -record, booteringest -record, or bootersensor itself on
@@ -36,6 +37,7 @@ import (
 
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/scenario"
 	"booters/internal/wire"
 )
@@ -55,7 +57,8 @@ Usage:
   bootersensor -collector HOST:PORT [-token TOK] [-sensor N]
                [-spool DIR | -scenario NAME|FILE | -seed N -weeks N -attacks N]
                [-batch N] [-heartbeat DUR] [-linger DUR]
-               [-pprof ADDR] [-progress DUR]
+               [-pprof ADDR] [-progress DUR] [-log SPEC]
+               [-trace-sample N] [-trace-slow DUR]
 
 Flags:
 
@@ -81,6 +84,9 @@ func main() {
 	linger := flag.Duration("linger", 0, "live-tail: keep the session open until the feed stays dry this long (0 = finish at end of feed)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (empty = off)")
 	progressEvery := flag.Duration("progress", 0, "emit a structured progress line to stderr this often (0 = off)")
+	logSpec := flag.String("log", "info", "log level spec: LEVEL[,SUBSYSTEM=LEVEL]... (e.g. info,wire=debug)")
+	traceSample := flag.Int("trace-sample", 0, "trace one shipped batch in N; trace context rides the batch frames to the collector (0 = off)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "pin and log spans at least this slow regardless of sampling")
 	flag.Parse()
 
 	if *scenarioFlag == "list" {
@@ -93,12 +99,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logs, err := obs.NewLog(os.Stderr, *logSpec)
+	if err != nil {
+		log.Fatalf("-log: %v", err)
+	}
+	slg := logs.Logger("sensor")
+	var tr *trace.Tracer
+	if *traceSample > 0 {
+		tr = trace.New(trace.Config{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+			Log:           logs.Logger("trace"),
+		})
+	}
 	if *pprofAddr != "" {
 		_, bound, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
 			log.Fatalf("-pprof: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+		slg.Info("pprof serving", "url", "http://"+bound+"/debug/pprof/")
 	}
 	if (*spoolDir != "" || *scenarioFlag != "") && (*weeks != 4 || *attacks != 500) {
 		log.Fatal("-weeks/-attacks only apply to generated streams (the spool or scenario fixes the workload)")
@@ -123,10 +142,11 @@ func main() {
 			log.Fatal(err)
 		}
 		m := run.Manifest
-		fmt.Printf("scenario %s: %d packets (%d attacks, %d scans) over %d weeks in %v\n",
-			m.Name, len(run.Stream()), m.Attacks, m.Scans, m.Weeks, time.Since(genStart).Round(time.Millisecond))
-		fmt.Printf("collector panel should span %s + %d weeks (booterserve -listen ... -scenario %s)\n",
-			run.Config.Start.Format("2006-01-02"), m.Weeks, *scenarioFlag)
+		slg.Info("scenario generated", "name", m.Name, "packets", len(run.Stream()),
+			"attacks", m.Attacks, "scans", m.Scans, "weeks", m.Weeks,
+			"elapsed", time.Since(genStart).Round(time.Millisecond))
+		slg.Info("collector panel span", "start", run.Config.Start.Format("2006-01-02"),
+			"weeks", m.Weeks, "hint", "booterserve -listen ... -scenario "+*scenarioFlag)
 		feed = wire.NewSliceFeed(ingest.Datagrams(run.Stream()))
 	} else {
 		genStart := time.Now()
@@ -139,13 +159,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("generated %d packets over %d weeks in %v\n",
-			len(packets), *weeks, time.Since(genStart).Round(time.Millisecond))
+		slg.Info("generated stream", "packets", len(packets), "weeks", *weeks,
+			"elapsed", time.Since(genStart).Round(time.Millisecond))
 		feed = wire.NewSliceFeed(ingest.Datagrams(packets))
 	}
 
 	reg := obs.Default()
-	stopProgress := startProgress(*progressEvery, func() []obs.Field {
+	stopProgress := startProgress(logs, *progressEvery, func() []obs.Field {
 		fields := []obs.Field{}
 		if n, ok := reg.Sum("booters_wire_sensor_records_total"); ok {
 			fields = append(fields, obs.F("records", uint64(n)))
@@ -159,6 +179,7 @@ func main() {
 		return fields
 	})
 
+	wlg := logs.Logger("wire")
 	shipStart := time.Now()
 	rep, err := wire.Ship(wire.SensorConfig{
 		Addr:         *collector,
@@ -169,25 +190,29 @@ func main() {
 		Heartbeat:    *heartbeat,
 		Linger:       *linger,
 		Metrics:      reg,
-		Logf:         log.Printf,
+		Trace:        tr,
+		Logf: func(format string, args ...any) {
+			wlg.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	stopProgress()
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(shipStart)
-	fmt.Printf("shipped %d records in %d batches (%d bytes, %v, %.0f records/sec); %d dials, %d resumes, acked offset %d\n",
-		rep.Records, rep.Batches, rep.Bytes, elapsed.Round(time.Millisecond),
-		float64(rep.Records)/elapsed.Seconds(), rep.Dials, rep.Resumes, rep.Acked)
+	slg.Info("shipment finished", "records", rep.Records, "batches", rep.Batches,
+		"bytes", rep.Bytes, "elapsed", elapsed.Round(time.Millisecond),
+		"rate", fmt.Sprintf("%.0f/s", float64(rep.Records)/elapsed.Seconds()),
+		"dials", rep.Dials, "resumes", rep.Resumes, "acked", rep.Acked)
 }
 
-// startProgress starts a stderr progress logger when -progress is set and
+// startProgress starts a slog progress logger when -progress is set and
 // returns its stop function; a zero interval returns a no-op.
-func startProgress(every time.Duration, snapshot func() []obs.Field) func() {
+func startProgress(logs *obs.Log, every time.Duration, snapshot func() []obs.Field) func() {
 	if every <= 0 {
 		return func() {}
 	}
-	p := obs.NewProgress(os.Stderr, every, snapshot)
+	p := obs.NewProgressLogger(logs.Logger("progress"), every, snapshot)
 	p.Start()
 	return p.Stop
 }

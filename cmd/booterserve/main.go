@@ -11,6 +11,7 @@
 //	            [-record DIR [-compress CODEC] | -replay DIR | -listen HOST:PORT]
 //	            [-wire-token TOK] [-scenario NAME|FILE] [-replay-workers N]
 //	            [-throttle PPS] [-exit-after-replay] [-pprof ADDR] [-progress DUR]
+//	            [-log SPEC] [-trace-sample N] [-trace-slow DUR] [-watermark-every N]
 //
 // Without a spool flag the generated stream is fed straight to the
 // pipeline. -record DIR spools the generated stream to disk first and
@@ -40,14 +41,22 @@
 // injected effects — failing the process if it does not.
 //
 // The whole pipeline is instrumented through internal/obs: /v1/metrics
-// serves the Prometheus text exposition (ingest, spool, serving and
-// model-cache families from one registry), -progress DUR emits a
-// one-line structured status report to stderr every DUR, and -pprof ADDR
-// serves the net/http/pprof profiles.
+// serves the Prometheus text exposition (ingest, spool, wire, serving
+// and model-cache families from one registry), -progress DUR emits a
+// structured slog status record to stderr every DUR, and -pprof ADDR
+// serves the net/http/pprof profiles. All stderr output is structured
+// logging (log/slog text); -log sets per-subsystem levels, e.g.
+// "-log info,wire=debug". -trace-sample N turns on the pipeline flight
+// recorder (docs/TRACING.md): one batch in N is traced end to end and
+// /v1/trace serves the recent spans as a Chrome trace-event document,
+// with spans slower than -trace-slow pinned and promoted to warning
+// logs regardless of sampling. /v1/healthz and /v1/readyz expose
+// liveness (watermark advancing) and readiness (first snapshot
+// published) probes.
 //
 // Endpoints: /v1/status, /v1/panel, /v1/series?country=C&proto=P,
 // /v1/top?by=country|protocol&k=N, /v1/model?from=T&to=T, /v1/spool,
-// /v1/metrics.
+// /v1/metrics, /v1/trace, /v1/healthz, /v1/readyz.
 package main
 
 import (
@@ -56,6 +65,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -68,9 +78,11 @@ import (
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/scenario"
 	"booters/internal/serve"
 	"booters/internal/spool"
+	"booters/internal/wire"
 )
 
 const usageText = `booterserve ingests a reflected-UDP packet stream through a rolling
@@ -91,6 +103,7 @@ Usage:
               [-record DIR [-compress CODEC] | -replay DIR | -listen HOST:PORT]
               [-wire-token TOK] [-scenario NAME|FILE] [-replay-workers N]
               [-throttle PPS] [-exit-after-replay] [-pprof ADDR] [-progress DUR]
+              [-log SPEC] [-trace-sample N] [-trace-slow DUR] [-watermark-every N]
 
 -listen turns the process into a collector: networked sensors
 (bootersensor) ship record batches over the framed session protocol of
@@ -101,7 +114,8 @@ final self-check assert that /v1/model recovers the scenario's injected
 intervention effects.
 
 Endpoints: /v1/status /v1/panel /v1/series /v1/top /v1/model /v1/spool
-/v1/metrics (Prometheus text exposition)
+/v1/metrics (Prometheus text exposition) /v1/trace (Chrome trace-event
+flight recorder, -trace-sample to enable) /v1/healthz /v1/readyz
 
 Flags:
 
@@ -130,14 +144,32 @@ func main() {
 	exitAfter := flag.Bool("exit-after-replay", false, "exit after the stream ends instead of serving until interrupt")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiles on this address (empty = off)")
 	progressEvery := flag.Duration("progress", 0, "emit a structured progress line to stderr this often (0 = off)")
+	logSpec := flag.String("log", "info", "log level spec: LEVEL[,SUBSYSTEM=LEVEL]... (e.g. info,wire=debug)")
+	traceSample := flag.Int("trace-sample", 0, "trace one batch in N through the pipeline, served at /v1/trace (0 = off)")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "pin and log spans at least this slow regardless of sampling")
+	wmEvery := flag.Int("watermark-every", 0, "broadcast the pipeline watermark every N packets; smaller N seals weeks sooner at more broadcast cost (0 = library default)")
 	flag.Parse()
+
+	logs, err := obs.NewLog(os.Stderr, *logSpec)
+	if err != nil {
+		log.Fatalf("-log: %v", err)
+	}
+	slg := logs.Logger("serve")
+	var tr *trace.Tracer
+	if *traceSample > 0 {
+		tr = trace.New(trace.Config{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+			Log:           logs.Logger("trace"),
+		})
+	}
 
 	if *pprofAddr != "" {
 		_, bound, err := obs.ServePprof(*pprofAddr)
 		if err != nil {
 			log.Fatalf("-pprof: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "pprof on http://%s/debug/pprof/\n", bound)
+		slg.Info("pprof serving", "url", "http://"+bound+"/debug/pprof/")
 	}
 
 	if *recordDir != "" && *replayDir != "" {
@@ -153,7 +185,7 @@ func main() {
 		log.Fatal("-scenario only applies to collector mode (-listen); feed scenarios locally with booteringest -scenario")
 	}
 	if *listen != "" {
-		collectorMode(*listen, *wireToken, *addr, *shards, *weeks, *progressEvery, *scenarioFlag)
+		collectorMode(*listen, *wireToken, *addr, *shards, *weeks, *wmEvery, *progressEvery, *scenarioFlag, logs, tr)
 		return
 	}
 	if *replayDir != "" && (*weeks != 52 || *attacks != 500) {
@@ -170,7 +202,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		packets := generate(*seed, start, *weeks, *attacks)
+		packets := generate(slg, *seed, start, *weeks, *attacks)
 		w, err := spool.Create(*recordDir, spool.Options{Codec: codec, Metrics: obs.Default()})
 		if err != nil {
 			log.Fatal(err)
@@ -183,7 +215,7 @@ func main() {
 		if err := w.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("recorded %d datagrams to %s (codec %s)\n", w.Count(), *recordDir, codec.Name())
+		slg.Info("recorded spool", "datagrams", w.Count(), "dir", *recordDir, "codec", codec.Name())
 		spoolDir = *recordDir
 	}
 
@@ -201,11 +233,13 @@ func main() {
 	}
 
 	in, err := ingest.New(ingest.Config{
-		Shards:  *shards,
-		Start:   start,
-		End:     end,
-		Rolling: true,
-		Metrics: obs.Default(),
+		Shards:         *shards,
+		Start:          start,
+		End:            end,
+		Rolling:        true,
+		WatermarkEvery: *wmEvery,
+		Metrics:        obs.Default(),
+		Trace:          tr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -215,12 +249,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	fmt.Printf("serving on http://%s — try /v1/status, /v1/panel, /v1/top?by=country&k=5, /v1/model\n", srv.Addr())
+	slg.Info("serving", "url", "http://"+srv.Addr(),
+		"endpoints", "/v1/status /v1/panel /v1/top /v1/model /v1/trace /v1/healthz /v1/readyz")
 
 	// Feed the pipeline while the server answers queries.
 	feedStart := time.Now()
 	var fedCount atomic.Uint64
-	stopProgress := startProgress(*progressEvery, func() []obs.Field {
+	stopProgress := startProgress(logs, *progressEvery, func() []obs.Field {
 		fields := []obs.Field{obs.F("packets", fedCount.Load()), obs.F("late", in.Late())}
 		reg := in.Metrics()
 		if seq, ok := reg.Sum("booters_snapshot_seq"); ok {
@@ -233,7 +268,7 @@ func main() {
 	})
 	if spoolDir != "" {
 		pace := newPacer(*throttle)
-		stats, err := spool.ReplayWindow(spoolDir, spool.ReplayOptions{Workers: *replayWorkers, Metrics: obs.Default()}, func(d ingest.Datagram) error {
+		stats, err := spool.ReplayWindow(spoolDir, spool.ReplayOptions{Workers: *replayWorkers, Metrics: obs.Default(), Trace: tr}, func(d ingest.Datagram) error {
 			fedCount.Add(1)
 			in.IngestDatagram(d) // decode drops are counted in Stats
 			pace.tick()
@@ -242,15 +277,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		splg := logs.Logger("spool")
 		for _, w := range stats.Warnings {
-			fmt.Printf("spool: warning: %s\n", w)
+			splg.Warn("replay warning", "detail", w)
 		}
 		for _, torn := range stats.Torn {
-			fmt.Printf("spool: DATA LOSS: %s: %s (%d complete records recovered)\n",
-				torn.Segment, torn.Reason, torn.Records)
+			splg.Error("data loss", "segment", torn.Segment, "reason", torn.Reason, "recovered", torn.Records)
 		}
 	} else {
-		packets := generate(*seed, start, *weeks, *attacks)
+		packets := generate(slg, *seed, start, *weeks, *attacks)
 		// The pacer's schedule starts here, after the generation work,
 		// so -throttle paces the feed itself from its first packet.
 		feedStart = time.Now()
@@ -270,9 +305,11 @@ func main() {
 	}
 	stopProgress()
 	elapsed := time.Since(feedStart)
-	fmt.Printf("ingested %d packets in %v (%.0f packets/sec); %d flows, %d attacks, %d scans\n",
-		fed, elapsed.Round(time.Millisecond), float64(res.Stats.Packets)/elapsed.Seconds(),
-		res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans)
+	slg.Info("ingest finished",
+		"packets", fed, "elapsed", elapsed.Round(time.Millisecond),
+		"rate", fmt.Sprintf("%.0f/s", float64(res.Stats.Packets)/elapsed.Seconds()),
+		"flows", res.Stats.Flows, "attacks", res.Stats.Attacks, "scans", res.Stats.Scans)
+	logFinalFreshness(slg, in)
 
 	// Self-check: the final panel must be queryable over real HTTP.
 	for _, path := range []string{"/v1/status", "/v1/panel"} {
@@ -283,13 +320,13 @@ func main() {
 		if len(body) > 120 {
 			body = append(body[:120], "..."...)
 		}
-		fmt.Printf("self-check %s: %s\n", path, body)
+		slg.Info("self-check", "path", path, "body", string(body))
 	}
 
 	if *exitAfter {
 		return
 	}
-	fmt.Printf("final panel published; still serving on http://%s — ctrl-c to stop\n", srv.Addr())
+	slg.Info("final panel published; serving until interrupt", "url", "http://"+srv.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -304,7 +341,8 @@ func main() {
 // scenario's manifest, and the self-check additionally asserts over real
 // HTTP that the model fit recovers every injected effect inside its
 // tolerance — the networked end of the scenario regression loop.
-func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEvery time.Duration, scenarioSpec string) {
+func collectorMode(listenAddr, token, addr string, shards, weeks, wmEvery int, progressEvery time.Duration, scenarioSpec string, logs *obs.Log, tr *trace.Tracer) {
+	slg := logs.Logger("collector")
 	start := time.Date(2018, time.January, 1, 0, 0, 0, 0, time.UTC)
 	var manifest *scenario.Manifest
 	if scenarioSpec != "" {
@@ -319,16 +357,18 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 		manifest = run.Manifest
 		start = run.Config.Start
 		weeks = manifest.Weeks
-		fmt.Printf("scenario %s: expecting %d packets (%d attacks) over %d weeks\n",
-			manifest.Name, manifest.Packets, manifest.Attacks, weeks)
+		slg.Info("scenario expected", "name", manifest.Name,
+			"packets", manifest.Packets, "attacks", manifest.Attacks, "weeks", weeks)
 	}
 	in, err := ingest.New(ingest.Config{
-		Shards:    shards,
-		Start:     start,
-		End:       start.AddDate(0, 0, 7*weeks-1),
-		Rolling:   true,
-		Unordered: true,
-		Metrics:   obs.Default(),
+		Shards:         shards,
+		Start:          start,
+		End:            start.AddDate(0, 0, 7*weeks-1),
+		Rolling:        true,
+		Unordered:      true,
+		WatermarkEvery: wmEvery,
+		Metrics:        obs.Default(),
+		Trace:          tr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -343,15 +383,23 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	col, err := booters.ListenWire(in, listenAddr, token)
+	col, err := wire.Listen(listenAddr, wire.CollectorConfig{
+		Ingest:  in,
+		Token:   token,
+		Metrics: in.Metrics(),
+		Trace:   tr,
+		Logf:    wireLogf(logs.Logger("wire")),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("collecting sensor sessions on %s (panel %s + %d weeks)\n", col.Addr(), start.Format("2006-01-02"), weeks)
-	fmt.Printf("serving on http://%s — try /v1/status, /v1/panel, /v1/metrics\n", srv.Addr())
+	slg.Info("collecting sensor sessions", "addr", col.Addr().String(),
+		"panel_start", start.Format("2006-01-02"), "weeks", weeks)
+	slg.Info("serving", "url", "http://"+srv.Addr(),
+		"endpoints", "/v1/status /v1/panel /v1/metrics /v1/trace /v1/healthz /v1/readyz")
 
 	reg := in.Metrics()
-	stopProgress := startProgress(progressEvery, func() []obs.Field {
+	stopProgress := startProgress(logs, progressEvery, func() []obs.Field {
 		fields := []obs.Field{
 			obs.F("packets", in.Packets()),
 			obs.F("sessions", col.Sessions()),
@@ -368,15 +416,16 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("interrupt: draining collector and sealing the panel")
+	slg.Info("interrupt: draining collector and sealing the panel")
 	col.Close()
 	res, err := in.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
 	stopProgress()
-	fmt.Printf("collected %d packets; %d flows, %d attacks, %d scans\n",
-		res.Stats.Packets, res.Stats.Flows, res.Stats.Attacks, res.Stats.Scans)
+	slg.Info("collection finished", "packets", res.Stats.Packets,
+		"flows", res.Stats.Flows, "attacks", res.Stats.Attacks, "scans", res.Stats.Scans)
+	logFinalFreshness(slg, in)
 	for _, path := range []string{"/v1/status", "/v1/panel"} {
 		body, err := get(srv.Addr(), path)
 		if err != nil {
@@ -385,17 +434,47 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 		if len(body) > 120 {
 			body = append(body[:120], "..."...)
 		}
-		fmt.Printf("self-check %s: %s\n", path, body)
+		slg.Info("self-check", "path", path, "body", string(body))
 	}
 	if manifest != nil {
 		if err := manifest.VerifyPanel(res.Global); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("scenario %s: collected panel equals the planned weekly counts (%d weeks)\n",
-			manifest.Name, manifest.Weeks)
-		if err := verifyModelHTTP(srv.Addr(), manifest); err != nil {
+		slg.Info("scenario panel verified", "name", manifest.Name, "weeks", manifest.Weeks)
+		if err := verifyModelHTTP(slg, srv.Addr(), manifest); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+// logFinalFreshness emits the end-of-run freshness/lag summary: how far
+// the stream head ran past the last sealed week when the panel became
+// final, how many event-to-queryable latencies the freshness histogram
+// observed along the way, and the final watermark lag gauge.
+func logFinalFreshness(slg *slog.Logger, in *ingest.Ingestor) {
+	attrs := []any{}
+	if head := in.Head(); !head.IsZero() {
+		if snap := in.Snapshot(); snap != nil && snap.Sealed {
+			if lag := head.Sub(snap.Through.Start.AddDate(0, 0, 7)); lag > 0 {
+				attrs = append(attrs, "freshness_s", fmt.Sprintf("%.1f", lag.Seconds()))
+			}
+		}
+	}
+	reg := in.Metrics()
+	if n, ok := reg.Sum("booters_freshness_event_to_queryable_seconds"); ok {
+		attrs = append(attrs, "freshness_observations", uint64(n))
+	}
+	if lag, ok := reg.Sum("booters_ingest_watermark_lag_seconds"); ok {
+		attrs = append(attrs, "watermark_lag_s", fmt.Sprintf("%.1f", lag))
+	}
+	slg.Info("final freshness", attrs...)
+}
+
+// wireLogf adapts the wire package's printf-style session log callback
+// to a subsystem slog logger.
+func wireLogf(lg *slog.Logger) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		lg.Info(fmt.Sprintf(format, args...))
 	}
 }
 
@@ -403,7 +482,7 @@ func collectorMode(listenAddr, token, addr string, shards, weeks int, progressEv
 // over the scenario span recovers every effect the manifest stakes a
 // tolerance on: the fitted percent change is folded back to the log
 // coefficient and compared against the injected ground truth.
-func verifyModelHTTP(addr string, m *scenario.Manifest) error {
+func verifyModelHTTP(slg *slog.Logger, addr string, m *scenario.Manifest) error {
 	from, to := m.Window()
 	path := fmt.Sprintf("/v1/model?from=%s&to=%s", from.Format("2006-01-02"), to.Format("2006-01-02"))
 	body, err := get(addr, path)
@@ -436,8 +515,8 @@ func verifyModelHTTP(addr string, m *scenario.Manifest) error {
 			return fmt.Errorf("scenario model check: effect %q: served fit %.4f vs injected %.4f (|diff| %.4f > tolerance %.4f)",
 				want.Name, coef, want.ExpectedCoef, diff, want.CoefTolerance)
 		}
-		fmt.Printf("self-check %s: effect %s %.1f%% — recovers the injected %.1f%% within tolerance\n",
-			path, want.Name, pct, want.ExpectedMeanPct)
+		slg.Info("scenario effect recovered", "path", path, "effect", want.Name,
+			"fitted_pct", fmt.Sprintf("%.1f", pct), "injected_pct", fmt.Sprintf("%.1f", want.ExpectedMeanPct))
 	}
 	return nil
 }
@@ -505,19 +584,19 @@ func (p *pacer) tick() {
 	}
 }
 
-// startProgress starts a stderr progress logger when -progress is set and
+// startProgress starts a slog progress logger when -progress is set and
 // returns its stop function; a zero interval returns a no-op.
-func startProgress(every time.Duration, snapshot func() []obs.Field) func() {
+func startProgress(logs *obs.Log, every time.Duration, snapshot func() []obs.Field) func() {
 	if every <= 0 {
 		return func() {}
 	}
-	p := obs.NewProgress(os.Stderr, every, snapshot)
+	p := obs.NewProgressLogger(logs.Logger("progress"), every, snapshot)
 	p.Start()
 	return p.Stop
 }
 
 // generate builds the synthetic market-driven packet stream.
-func generate(seed int64, start time.Time, weeks int, attacks float64) []honeypot.Packet {
+func generate(slg *slog.Logger, seed int64, start time.Time, weeks int, attacks float64) []honeypot.Packet {
 	genStart := time.Now()
 	packets, err := ingest.SyntheticStream(ingest.StreamConfig{
 		Seed:           seed,
@@ -528,6 +607,7 @@ func generate(seed int64, start time.Time, weeks int, attacks float64) []honeypo
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("generated %d packets over %d weeks in %v\n", len(packets), weeks, time.Since(genStart).Round(time.Millisecond))
+	slg.Info("generated stream", "packets", len(packets), "weeks", weeks,
+		"elapsed", time.Since(genStart).Round(time.Millisecond))
 	return packets
 }

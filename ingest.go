@@ -102,8 +102,11 @@ func serveWith(in *ingest.Ingestor, addr, spoolDir string, ivs []its.Interventio
 		SpoolDir:      spoolDir,
 		// Fold the server's HTTP/model-cache families into the pipeline's
 		// registry (when the ingestor carries one), so one /v1/metrics
-		// scrape covers ingest, spool and serving together.
-		Obs: in.Metrics(),
+		// scrape covers ingest, spool and serving together; likewise the
+		// pipeline's tracer, so /v1/trace shows serve.query spans in the
+		// same flight recorder as the ingest spans they ride on.
+		Obs:   in.Metrics(),
+		Trace: in.Trace(),
 	})
 	// Bind before subscribing: a failed Start must not leave a dead
 	// server permanently subscribed to the pipeline's snapshot feed.
@@ -239,6 +242,9 @@ func ReplaySpoolWindow(in *ingest.Ingestor, dir string, opts SpoolReplayOptions)
 		To:        opts.To,
 		Workers:   opts.Workers,
 		Unordered: opts.Unordered,
+		// Segment read spans land in the same flight recorder as the
+		// ingest spans the replay feeds (nil when tracing is off).
+		Trace: in.Trace(),
 	}
 	if opts.Unordered {
 		if !in.Unordered() {

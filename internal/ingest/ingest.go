@@ -43,6 +43,7 @@ import (
 	"booters/internal/geo"
 	"booters/internal/honeypot"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/protocols"
 	"booters/internal/timeseries"
 )
@@ -173,6 +174,14 @@ type Config struct {
 	// cost is one uncontended atomic add into the shard's own counter
 	// cell (see internal/obs and metrics.go).
 	Metrics *obs.Registry
+	// Trace, when non-nil, records sampled spans — shard enqueue,
+	// flow-table apply, watermark broadcast, week seal, snapshot publish
+	// — into the tracer's flight recorder (see internal/obs/trace and
+	// docs/TRACING.md). nil disables tracing entirely; the hot path then
+	// pays one nil check per batch flush, never per packet. Sampling
+	// decisions happen per flushed batch, or are inherited from a
+	// producer-supplied parent (see SetTraceParent).
+	Trace *trace.Tracer
 
 	// testBeforeEnvelope, when set by tests, runs on a shard worker before
 	// each envelope is processed — the hook slow-consumer tests use to park
@@ -235,6 +244,11 @@ type Ingestor struct {
 	malformed   atomic.Uint64
 	watermark   atomic.Int64 // max packet time flushed to shards, unix nanos
 	flowsClosed atomic.Int64
+
+	// traceParent is the newest producer-supplied trace context
+	// (SetTraceParent), adopted as the parent of subsequent batch
+	// flushes — last-writer-wins, see SetTraceParent.
+	traceParent atomic.Pointer[trace.Context]
 }
 
 // flowTable is the per-shard aggregator surface, satisfied by both the
@@ -252,10 +266,16 @@ type flowTable interface {
 }
 
 // envelope is one shard-channel message: either a packet batch or a
-// watermark advance.
+// watermark advance. A sampled batch additionally carries its trace
+// context — tc is the queue span the worker closes at dequeue,
+// parentSpan its upstream parent (a wire batch, when one supplied it)
+// and enqNs the flush instant the queue span starts at.
 type envelope struct {
-	batch []honeypot.Packet
-	mark  time.Time
+	batch      []honeypot.Packet
+	mark       time.Time
+	tc         trace.Context
+	parentSpan uint64
+	enqNs      int64
 }
 
 // shard is one worker: a private flow table plus its input queue. Only the
@@ -292,6 +312,11 @@ type shard struct {
 	acc         *accumulator
 	rollSealed  bool
 	rollThrough timeseries.Week
+
+	// lastTC is the most recent sampled apply span on this shard,
+	// touched only by the worker; week seals adopt it as their parent so
+	// a trace reaches from a sensor batch to the snapshot it unlocked.
+	lastTC trace.Context
 }
 
 // New starts an ingestor with cfg.Shards workers.
@@ -376,6 +401,17 @@ func (in *Ingestor) run(s *shard) {
 			}
 			continue
 		}
+		// A sampled batch closes its queue span at dequeue and opens an
+		// apply span around the flow-table work; both record into the
+		// shard's own recorder lane (scrape-time merge, no locks).
+		var applyTC trace.Context
+		var applyStart int64
+		if env.tc.Sampled() {
+			applyStart = time.Now().UnixNano()
+			in.cfg.Trace.Record(trace.NameIngestEnqueue, s.index, env.tc, env.parentSpan,
+				env.enqNs, applyStart-env.enqNs, uint64(len(env.batch)))
+			applyTC = in.cfg.Trace.Child(env.tc)
+		}
 		for _, p := range env.batch {
 			if err := s.agg.Offer(p); err != nil {
 				s.late.Add(1)
@@ -385,6 +421,11 @@ func (in *Ingestor) run(s *shard) {
 			}
 		}
 		drain(s.agg.Completed())
+		if applyTC.Sampled() {
+			in.cfg.Trace.Record(trace.NameIngestApply, s.index, applyTC, env.tc.Span,
+				applyStart, time.Now().UnixNano()-applyStart, uint64(len(env.batch)))
+			s.lastTC = applyTC
+		}
 		// Flow-table gauges refresh on the mark path above, not here:
 		// watermark cadence is fresh enough for scrape-time sampling and
 		// keeps the batch path free of producer/worker line sharing.
@@ -573,6 +614,11 @@ func (in *Ingestor) lowWatermark() (time.Time, bool) {
 // sheds the mark too — marks are monotonic and periodic, so a later one
 // catches the shard up.
 func (in *Ingestor) broadcastWatermark() {
+	tc := in.cfg.Trace.Root() // nil-safe; zero when unsampled
+	var t0 int64
+	if tc.Sampled() {
+		t0 = time.Now().UnixNano()
+	}
 	// Flush every shard first: flushing publishes each shard's newest
 	// pending timestamp to the watermark, so the sourceless fallback mark
 	// below reflects every packet handed to a worker.
@@ -584,20 +630,23 @@ func (in *Ingestor) broadcastWatermark() {
 		s.mu.Unlock()
 	}
 	mark, ok := in.lowWatermark()
-	if !ok {
-		return
-	}
-	for _, s := range in.shards {
-		s.mu.Lock()
-		if !s.closed {
-			// Any batch a producer appended between the flush above and
-			// this send carries timestamps at or after the mark (ordered
-			// mode) or is covered by a source promise, so enqueueing the
-			// mark behind the flush keeps it a valid lower bound.
-			in.flushLocked(s)
-			in.send(s, envelope{mark: mark})
+	if ok {
+		for _, s := range in.shards {
+			s.mu.Lock()
+			if !s.closed {
+				// Any batch a producer appended between the flush above and
+				// this send carries timestamps at or after the mark (ordered
+				// mode) or is covered by a source promise, so enqueueing the
+				// mark behind the flush keeps it a valid lower bound.
+				in.flushLocked(s)
+				in.send(s, envelope{mark: mark})
+			}
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
+	}
+	if tc.Sampled() {
+		in.cfg.Trace.Record(trace.NameWatermark, 0, tc, 0,
+			t0, time.Now().UnixNano()-t0, uint64(len(in.shards)))
 	}
 }
 
@@ -615,8 +664,55 @@ func (in *Ingestor) flushLocked(s *shard) {
 		in.observe(s.maxTime)
 	}
 	env := envelope{batch: s.pending}
+	if tr := in.cfg.Trace; tr != nil {
+		// Sampling happens here, per flushed batch, never per packet. A
+		// producer-supplied parent (a traced wire batch) pre-decides it;
+		// otherwise the tracer makes its own decision.
+		var parent trace.Context
+		if p := in.traceParent.Load(); p != nil {
+			parent = *p
+		}
+		if parent.Sampled() {
+			env.tc, env.parentSpan = tr.Child(parent), parent.Span
+		} else {
+			env.tc = tr.Root()
+		}
+		if env.tc.Sampled() {
+			env.enqNs = time.Now().UnixNano()
+		}
+	}
 	s.pending = nil
 	in.send(s, env)
+}
+
+// SetTraceParent adopts tc as the parent of subsequent batch flushes,
+// so a traced producer batch (a wire frame the collector decoded)
+// parents the shard enqueue/apply spans its packets land in. The
+// association is last-writer-wins and deliberately loose: a flush may
+// mix packets from several producer batches and is attributed to the
+// newest one — exact per-packet attribution would put a write on the
+// per-packet hot path. Passing an unsampled Context detaches flushes
+// from the previous parent.
+func (in *Ingestor) SetTraceParent(tc trace.Context) {
+	if in.cfg.Trace == nil {
+		return
+	}
+	in.traceParent.Store(&tc)
+}
+
+// Trace returns the tracer the pipeline was built with, or nil when
+// tracing is disabled.
+func (in *Ingestor) Trace() *trace.Tracer { return in.cfg.Trace }
+
+// Head returns the newest packet timestamp flushed to shards, or the
+// zero time before the first flush — the live stream-time head the
+// freshness figures are measured against.
+func (in *Ingestor) Head() time.Time {
+	n := in.watermark.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
 }
 
 // send enqueues one envelope on the shard's queue under the configured

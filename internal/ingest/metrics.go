@@ -32,6 +32,7 @@ type pipelineMetrics struct {
 
 	snapshots   *obs.Counter
 	sealLatency *obs.Histogram
+	freshness   *obs.Histogram
 }
 
 // newPipelineMetrics registers the pipeline's instrument families on reg
@@ -50,6 +51,8 @@ func newPipelineMetrics(in *Ingestor, reg *obs.Registry) *pipelineMetrics {
 			"Rolling panel snapshots published (including the initial and Final ones)."),
 		sealLatency: reg.Histogram("booters_ingest_seal_publish_seconds",
 			"Latency from a shard sealing a week boundary to the merged snapshot publishing."),
+		freshness: reg.Histogram("booters_freshness_event_to_queryable_seconds",
+			"Stream-time freshness at snapshot publish: how far the watermark head had advanced past a sealed week's end when that week became queryable."),
 	}
 	for i, s := range in.shards {
 		label := obs.L("shard", strconv.Itoa(i))

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"booters/internal/obs/trace"
 	"booters/internal/protocols"
 	"booters/internal/timeseries"
 )
@@ -85,6 +86,9 @@ type rollPartial struct {
 	through  timeseries.Week
 	acc      *accumulator
 	sealedAt time.Time
+	// tc is the seal span's trace context (zero without a tracer); the
+	// publish span it unlocks adopts it as parent.
+	tc trace.Context
 }
 
 // roller owns rolling emission for one pipeline: the partial channel, the
@@ -146,7 +150,21 @@ func (r *roller) maybeSeal(s *shard, mark time.Time) {
 		return // this boundary is already sealed
 	}
 	s.rollSealed, s.rollThrough = true, through
-	r.ch <- rollPartial{shard: s.index, through: through, acc: s.acc.clone(), sealedAt: time.Now()}
+	sealedAt := time.Now()
+	acc := s.acc.clone()
+	var sealTC trace.Context
+	if tr := r.in.cfg.Trace; tr != nil {
+		// Week seals are rare and load-bearing, so they are always on
+		// record: parented under the shard's last sampled apply span when
+		// one exists, a forced root otherwise.
+		sealTC = tr.Child(s.lastTC)
+		if !sealTC.Sampled() {
+			sealTC = tr.RootAlways()
+		}
+		tr.Record(trace.NameWeekSeal, s.index, sealTC, s.lastTC.Span,
+			sealedAt.UnixNano(), time.Since(sealedAt).Nanoseconds(), uint64(acc.flows))
+	}
+	r.ch <- rollPartial{shard: s.index, through: through, acc: acc, sealedAt: sealedAt, tc: sealTC}
 }
 
 // collect is the collector goroutine: fold incoming partials and publish
@@ -165,9 +183,29 @@ func (r *roller) collect() {
 			continue // frontier did not advance
 		}
 		r.pubAny, r.pubBase = true, frontier
+		pubStart := time.Now()
 		r.publish(r.merge(r.partials, frontier, true))
 		if r.in.m != nil {
 			r.in.m.sealLatency.Observe(time.Since(p.sealedAt))
+			// Event-time freshness: when the frontier week became
+			// queryable, the stream head had advanced this far past the
+			// week's end — the stream-time wait between an event landing
+			// at the end of the week and that week being servable.
+			if head := r.in.watermark.Load(); head > 0 {
+				if lag := time.Duration(head - frontier.Start.AddDate(0, 0, 7).UnixNano()); lag > 0 {
+					r.in.m.freshness.Observe(lag)
+				}
+			}
+		}
+		if tr := r.in.cfg.Trace; tr != nil {
+			// Like seals, publishes are always recorded, chained under the
+			// seal span that advanced the frontier.
+			tc := tr.Child(p.tc)
+			if !tc.Sampled() {
+				tc = tr.RootAlways()
+			}
+			tr.Record(trace.NameSnapshotPublish, p.shard, tc, p.tc.Span,
+				pubStart.UnixNano(), time.Since(pubStart).Nanoseconds(), r.seq)
 		}
 	}
 }

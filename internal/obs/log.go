@@ -1,0 +1,98 @@
+package obs
+
+// Structured logging for the CLIs and long-running subsystems: one
+// slog.Logger per subsystem, all writing the text form to a shared
+// writer, with per-subsystem minimum levels parsed from a single
+// "-log" style spec. The spec grammar is
+//
+//	[LEVEL][,SUBSYSTEM=LEVEL]...
+//
+// where LEVEL is debug, info, warn or error. The bare leading level
+// (optional, default info) applies to every subsystem without an
+// explicit override, so "-log info,wire=debug" turns on wire session
+// debugging without drowning the rest of the pipeline, and
+// "-log warn" quiets everything to warnings — which still lets the
+// tracer's slow-span promotions through.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// Log hands out per-subsystem slog loggers sharing one writer and one
+// parsed level spec.
+type Log struct {
+	w    io.Writer
+	def  slog.Level
+	subs map[string]slog.Level
+
+	mu    sync.Mutex
+	cache map[string]*slog.Logger
+}
+
+// ParseLevel resolves a level name (case-insensitive) to its slog
+// level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLog parses a level spec and returns a logger factory writing to w.
+// An empty spec means info everywhere.
+func NewLog(w io.Writer, spec string) (*Log, error) {
+	l := &Log{w: w, def: slog.LevelInfo, subs: map[string]slog.Level{}, cache: map[string]*slog.Logger{}}
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, lvl, ok := strings.Cut(part, "="); ok {
+			parsed, err := ParseLevel(lvl)
+			if err != nil {
+				return nil, err
+			}
+			l.subs[strings.TrimSpace(name)] = parsed
+			continue
+		}
+		if i != 0 {
+			return nil, fmt.Errorf("obs: log spec %q: bare level %q must come first", spec, part)
+		}
+		parsed, err := ParseLevel(part)
+		if err != nil {
+			return nil, err
+		}
+		l.def = parsed
+	}
+	return l, nil
+}
+
+// Logger returns the logger for one subsystem: a text handler gated at
+// the subsystem's level (its override, or the spec's default) with a
+// "sub" attribute identifying the emitter on every line. Loggers are
+// cached, so repeated calls are cheap and hand back the same instance.
+func (l *Log) Logger(sub string) *slog.Logger {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lg, ok := l.cache[sub]; ok {
+		return lg
+	}
+	level := l.def
+	if lv, ok := l.subs[sub]; ok {
+		level = lv
+	}
+	lg := slog.New(slog.NewTextHandler(l.w, &slog.HandlerOptions{Level: level})).With("sub", sub)
+	l.cache[sub] = lg
+	return lg
+}

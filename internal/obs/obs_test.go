@@ -247,11 +247,40 @@ func TestProgressEmitsLines(t *testing.T) {
 	mu.Lock()
 	out := buf.String()
 	mu.Unlock()
-	if !strings.Contains(out, "progress ts=") || !strings.Contains(out, "packets=") || !strings.Contains(out, "stage=replay") {
+	if !strings.Contains(out, "msg=progress") || !strings.Contains(out, "packets=") || !strings.Contains(out, "stage=replay") {
 		t.Fatalf("progress line malformed:\n%s", out)
 	}
 	if !strings.Contains(out, "rate=") {
 		t.Fatalf("no derived rate in:\n%s", out)
+	}
+}
+
+func TestLogSpecLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLog(&buf, "warn,wire=debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Logger("ingest").Info("quiet") // below the warn default
+	lg.Logger("wire").Debug("chatty") // wire override admits debug
+	lg.Logger("ingest").Warn("loud")  // at the default
+	if lg.Logger("wire") != lg.Logger("wire") {
+		t.Fatal("loggers not cached per subsystem")
+	}
+	out := buf.String()
+	if strings.Contains(out, "msg=quiet") {
+		t.Fatalf("info leaked through warn default:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=chatty") || !strings.Contains(out, "sub=wire") {
+		t.Fatalf("wire debug override not applied:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=loud") || !strings.Contains(out, "sub=ingest") {
+		t.Fatalf("warn line missing:\n%s", out)
+	}
+	for _, bad := range []string{"verbose", "wire=loudest", "info,warn"} {
+		if _, err := NewLog(&buf, bad); err == nil {
+			t.Errorf("spec %q: no error", bad)
+		}
 	}
 }
 

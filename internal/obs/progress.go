@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -10,13 +12,14 @@ import (
 	"time"
 )
 
-// Progress emits a periodic one-line structured status report for long
-// replays: logfmt-style key=value pairs built by a caller-supplied
-// snapshot function, plus a rate computed from the first value the
-// snapshot returns (conventionally a packet or record count). It is the
-// "-progress" flag's engine in cmd/booteringest and cmd/booterserve.
+// Progress emits a periodic structured status report for long replays:
+// one slog record per interval carrying key=value attributes built by a
+// caller-supplied snapshot function, plus a rate computed from the
+// first value the snapshot returns (conventionally a packet or record
+// count). It is the "-progress" flag's engine in cmd/booteringest,
+// cmd/booterserve and cmd/bootersensor.
 type Progress struct {
-	w        io.Writer
+	lg       *slog.Logger
 	interval time.Duration
 	snapshot func() []Field
 
@@ -38,16 +41,25 @@ type Field struct {
 // F is shorthand for building a Field.
 func F(key string, value any) Field { return Field{Key: key, Value: value} }
 
-// NewProgress builds a progress logger writing to w every interval. The
-// snapshot function is called from the logger's own goroutine and must be
-// safe to call concurrently with the instrumented work; its first field
-// should be a monotone count (used for the derived rate field). Call
-// Start to begin and Stop to emit a final line and halt.
+// NewProgress builds a progress logger writing slog text lines to w
+// every interval. The snapshot function is called from the logger's own
+// goroutine and must be safe to call concurrently with the instrumented
+// work; its first field should be a monotone count (used for the
+// derived rate field). Call Start to begin and Stop to emit a final
+// line and halt. Use NewProgressLogger to route the records through an
+// existing per-subsystem logger instead.
 func NewProgress(w io.Writer, interval time.Duration, snapshot func() []Field) *Progress {
+	return NewProgressLogger(slog.New(slog.NewTextHandler(w, nil)), interval, snapshot)
+}
+
+// NewProgressLogger is NewProgress emitting through an existing slog
+// logger (at Info), so progress lines share the CLI's handler, format
+// and level gate.
+func NewProgressLogger(lg *slog.Logger, interval time.Duration, snapshot func() []Field) *Progress {
 	if interval <= 0 {
 		interval = 10 * time.Second
 	}
-	return &Progress{w: w, interval: interval, snapshot: snapshot}
+	return &Progress{lg: lg, interval: interval, snapshot: snapshot}
 }
 
 // Start launches the ticker goroutine. Starting a started logger is a
@@ -94,7 +106,8 @@ func (p *Progress) loop(stop, done chan struct{}) {
 	}
 }
 
-// emit renders one line: timestamp, snapshot fields, derived rate.
+// emit logs one progress record: snapshot fields as attributes, plus
+// the derived rate when the leading field advanced.
 func (p *Progress) emit() {
 	fields := p.snapshot()
 	now := time.Now()
@@ -110,20 +123,14 @@ func (p *Progress) emit() {
 			p.mu.Unlock()
 		}
 	}
-	buf := make([]byte, 0, 160)
-	buf = append(buf, "progress ts="...)
-	buf = now.UTC().AppendFormat(buf, time.RFC3339)
+	attrs := make([]slog.Attr, 0, len(fields)+1)
 	for _, f := range fields {
-		buf = append(buf, ' ')
-		buf = append(buf, f.Key...)
-		buf = append(buf, '=')
-		buf = fmt.Appendf(buf, "%v", f.Value)
+		attrs = append(attrs, slog.Any(f.Key, f.Value))
 	}
 	if rate > 0 {
-		buf = fmt.Appendf(buf, " rate=%.0f/s", rate)
+		attrs = append(attrs, slog.String("rate", fmt.Sprintf("%.0f/s", rate)))
 	}
-	buf = append(buf, '\n')
-	p.w.Write(buf)
+	p.lg.LogAttrs(context.Background(), slog.LevelInfo, "progress", attrs...)
 }
 
 // toUint64 extracts a count from the common integer kinds a snapshot

@@ -1,0 +1,88 @@
+// Chrome trace-event export: Snapshot() spans rendered as the JSON
+// object format chrome://tracing and Perfetto load directly. Complete
+// events ("ph":"X") with microsecond timestamps; the lane becomes the
+// thread ID so per-shard activity lines up as swimlanes.
+
+package trace
+
+import (
+	"strconv"
+	"strings"
+)
+
+// AppendTraceEvents appends spans as one Chrome trace-event JSON
+// document — {"traceEvents":[...],"displayTimeUnit":"ms"} — and
+// returns the extended slice. Span IDs travel in args (hex) so parent
+// links survive into the viewer's detail pane.
+func AppendTraceEvents(dst []byte, spans []Span) []byte {
+	dst = append(dst, `{"traceEvents":[`...)
+	for i, s := range spans {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"name":`...)
+		dst = appendQuoted(dst, s.Name)
+		dst = append(dst, `,"cat":`...)
+		cat := s.Name
+		if dot := strings.IndexByte(cat, '.'); dot > 0 {
+			cat = cat[:dot]
+		}
+		if s.Pinned {
+			cat += ",slow"
+		}
+		dst = appendQuoted(dst, cat)
+		dst = append(dst, `,"ph":"X","pid":1,"tid":`...)
+		dst = strconv.AppendUint(dst, uint64(s.Lane), 10)
+		dst = append(dst, `,"ts":`...)
+		dst = appendMicros(dst, s.Start)
+		dst = append(dst, `,"dur":`...)
+		dst = appendMicros(dst, s.Dur)
+		dst = append(dst, `,"args":{"trace":"`...)
+		dst = strconv.AppendUint(dst, s.Trace, 16)
+		dst = append(dst, `","span":"`...)
+		dst = strconv.AppendUint(dst, s.ID, 16)
+		dst = append(dst, `","parent":"`...)
+		dst = strconv.AppendUint(dst, s.Parent, 16)
+		dst = append(dst, `","count":`...)
+		dst = strconv.AppendUint(dst, s.Count, 10)
+		dst = append(dst, `}}`...)
+	}
+	dst = append(dst, `],"displayTimeUnit":"ms"}`...)
+	return dst
+}
+
+// appendMicros renders nanoseconds as decimal microseconds with
+// sub-microsecond fraction, the unit trace-event timestamps use.
+func appendMicros(dst []byte, ns int64) []byte {
+	if ns < 0 {
+		ns = 0
+	}
+	dst = strconv.AppendInt(dst, ns/1e3, 10)
+	frac := ns % 1e3
+	if frac != 0 {
+		dst = append(dst, '.')
+		dst = append(dst, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	}
+	return dst
+}
+
+// appendQuoted JSON-quotes a span name or category. Names are
+// registered identifiers, so only the JSON structural characters need
+// escaping.
+func appendQuoted(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < 0x20:
+			dst = append(dst, `\u00`...)
+			const hex = "0123456789abcdef"
+			dst = append(dst, hex[c>>4], hex[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}

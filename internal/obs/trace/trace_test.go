@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+// record is a test helper writing one fully-specified fast span.
+func record(t *Tracer, name NameID, lane int, start, dur int64, count uint64) Context {
+	tc := t.RootAlways()
+	t.Record(name, lane, tc, 0, start, dur, count)
+	return tc
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tc := tr.Root(); tc.Sampled() {
+		t.Fatal("nil tracer sampled a root")
+	}
+	if tc := tr.RootAlways(); tc.Sampled() {
+		t.Fatal("nil tracer forced a root")
+	}
+	if tc := tr.Child(Context{Trace: 1, Span: 1}); tc.Sampled() {
+		t.Fatal("nil tracer built a child")
+	}
+	tr.Record(NameIngestApply, 0, Context{Trace: 1, Span: 1}, 0, 0, 1, 1)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v", got)
+	}
+	if tr.Register("x") != NameUnknown || tr.Name(NameWeekSeal) != "unknown" || tr.Drops() != 0 {
+		t.Fatal("nil tracer accessors not inert")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Config{SampleEvery: 4, SlowThreshold: -1})
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if tr.Root().Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("SampleEvery=4: sampled %d of 400 roots, want 100", sampled)
+	}
+	// Unsampled contexts disable children and recording entirely.
+	if tr.Child(Context{}).Sampled() {
+		t.Fatal("child of unsampled context is sampled")
+	}
+	tr.Record(NameIngestApply, 0, Context{}, 0, 0, 1, 1)
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("unsampled record stored %d spans", n)
+	}
+}
+
+func TestWraparoundKeepsNewest(t *testing.T) {
+	tr := New(Config{RingSize: 8, Lanes: 1, SlowThreshold: -1})
+	for i := 0; i < 100; i++ {
+		record(tr, NameIngestApply, 0, int64(i), 1, uint64(i))
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 8 {
+		t.Fatalf("ring of 8 holds %d spans after 100 writes", len(spans))
+	}
+	for _, s := range spans {
+		if s.Start < 92 {
+			t.Fatalf("span started at %d survived wraparound; oldest expected is 92", s.Start)
+		}
+		if s.Pinned {
+			t.Fatal("fast span marked pinned")
+		}
+	}
+}
+
+func TestSlowSpanPinning(t *testing.T) {
+	var logBuf bytes.Buffer
+	tr := New(Config{
+		RingSize:      8,
+		Lanes:         1,
+		PinnedSize:    4,
+		SlowThreshold: 100 * time.Millisecond,
+		Log:           slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	slowNs := (150 * time.Millisecond).Nanoseconds()
+	slow := record(tr, NameServeQuery, 0, 5, slowNs, 7)
+	// A flood of fast spans wraps the lane ring many times over; the
+	// pinned slow span must survive it.
+	for i := 0; i < 1000; i++ {
+		record(tr, NameIngestApply, 0, int64(1000+i), 1, 1)
+	}
+	var pinned []Span
+	for _, s := range tr.Snapshot() {
+		if s.Pinned {
+			pinned = append(pinned, s)
+		}
+	}
+	if len(pinned) != 1 || pinned[0].Trace != slow.Trace || pinned[0].Dur != slowNs || pinned[0].Count != 7 {
+		t.Fatalf("pinned spans = %+v, want the one slow span %v", pinned, slow)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("slow span")) || !bytes.Contains(logBuf.Bytes(), []byte("serve.query")) {
+		t.Fatalf("slow span not log-promoted: %q", logBuf.String())
+	}
+	// Only newer slow spans evict pinned ones: 4 more slow spans push
+	// the original out of the 4-slot pinned ring.
+	for i := 0; i < 4; i++ {
+		record(tr, NameServeQuery, 0, int64(2000+i), slowNs, 1)
+	}
+	for _, s := range tr.Snapshot() {
+		if s.Pinned && s.Trace == slow.Trace {
+			t.Fatal("original slow span survived 4 newer pinned spans in a 4-slot ring")
+		}
+	}
+}
+
+func TestParentChildAndNames(t *testing.T) {
+	tr := New(Config{SlowThreshold: -1})
+	root := tr.RootAlways()
+	child := tr.Child(root)
+	if child.Trace != root.Trace || child.Span == root.Span {
+		t.Fatalf("child %+v of root %+v", child, root)
+	}
+	tr.Record(NameSensorBatch, 0, root, 0, 10, 5, 3)
+	tr.Record(NameWireBatch, 1, child, root.Span, 12, 2, 3)
+	custom := tr.Register("custom.stage")
+	if custom == NameUnknown {
+		t.Fatal("Register returned NameUnknown")
+	}
+	if again := tr.Register("custom.stage"); again != custom {
+		t.Fatalf("re-Register gave %d, want %d", again, custom)
+	}
+	tr.Record(custom, 2, tr.Child(child), child.Span, 14, 1, 1)
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("snapshot has %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if s := byName["wire.batch"]; s.Parent != root.Span || s.Trace != root.Trace || s.Lane != 1 {
+		t.Fatalf("wire.batch span = %+v", s)
+	}
+	if s := byName["custom.stage"]; s.Parent != child.Span {
+		t.Fatalf("custom.stage span = %+v", s)
+	}
+	if spans[0].Start > spans[1].Start || spans[1].Start > spans[2].Start {
+		t.Fatal("snapshot not time-ordered")
+	}
+}
+
+// TestConcurrentRecordAndSnapshot hammers every lane from many
+// goroutines while snapshots run — the scrape-during-hot-ingest shape,
+// checked under -race in CI.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	tr := New(Config{RingSize: 64, Lanes: 4, SlowThreshold: time.Millisecond})
+	var writers sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				tc := tr.Root()
+				child := tr.Child(tc)
+				tr.Record(NameIngestEnqueue, w, tc, 0, int64(i), int64(i%3)*int64(time.Millisecond), 1)
+				tr.Record(NameIngestApply, w, child, tc.Span, int64(i), 1, 1)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	scraped := make(chan struct{})
+	go func() {
+		defer close(scraped)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range tr.Snapshot() {
+					if s.Trace == 0 {
+						t.Error("snapshot returned an empty span")
+						return
+					}
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-scraped
+	if n := len(tr.Snapshot()); n == 0 {
+		t.Fatal("no spans recorded under concurrency")
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	tr := New(Config{SlowThreshold: 50 * time.Millisecond})
+	root := tr.RootAlways()
+	start := time.Date(2026, 8, 8, 12, 0, 0, 123456, time.UTC).UnixNano()
+	tr.Record(NameSensorBatch, 3, root, 0, start, 2500, 64)
+	tr.Record(NameServeQuery, 0, tr.RootAlways(), 0, start+10, (60 * time.Millisecond).Nanoseconds(), 1)
+	out := AppendTraceEvents(nil, tr.Snapshot())
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Trace  string `json:"trace"`
+				Span   string `json:"span"`
+				Parent string `json:"parent"`
+				Count  uint64 `json:"count"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("trace-event JSON does not parse: %v\n%s", err, out)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 2 {
+		t.Fatalf("document = %+v", doc)
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+		if ev.Ph != "X" || ev.Pid != 1 {
+			t.Fatalf("event %+v: want complete-event with pid 1", ev)
+		}
+	}
+	sensor := doc.TraceEvents[byName["sensor.batch"]]
+	if sensor.Cat != "sensor" || sensor.Tid != 3 || sensor.Args.Count != 64 {
+		t.Fatalf("sensor.batch event = %+v", sensor)
+	}
+	if wantTs := float64(start) / 1e3; sensor.Ts < wantTs-0.001 || sensor.Ts > wantTs+0.001 {
+		t.Fatalf("ts = %f, want ~%f", sensor.Ts, wantTs)
+	}
+	if sensor.Dur != 2.5 {
+		t.Fatalf("dur = %f µs, want 2.5", sensor.Dur)
+	}
+	slow := doc.TraceEvents[byName["serve.query"]]
+	if slow.Cat != "serve,slow" {
+		t.Fatalf("pinned span category = %q, want serve,slow", slow.Cat)
+	}
+	if want := fmt.Sprintf("%x", root.Trace); sensor.Args.Trace != want {
+		t.Fatalf("args.trace = %q, want %q", sensor.Args.Trace, want)
+	}
+}
+
+func TestDropsCountCollisions(t *testing.T) {
+	// Force a collision: claim a slot mid-write by setting its seqlock
+	// odd, then wrap onto it.
+	tr := New(Config{RingSize: 2, Lanes: 1, SlowThreshold: -1})
+	tr.lanes[0].slots[0].seq.Store(1)
+	for i := 0; i < 4; i++ {
+		record(tr, NameIngestApply, 0, int64(i), 1, 1)
+	}
+	if tr.Drops() == 0 {
+		t.Fatal("wrapped mid-write slot did not count as a drop")
+	}
+}

@@ -18,11 +18,13 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"booters/internal/ingest"
 	"booters/internal/its"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/timeseries"
 )
 
@@ -37,6 +39,13 @@ type Server struct {
 	hs     *http.Server
 	lis    net.Listener
 	routes []*route
+
+	tr         *trace.Tracer
+	stallAfter time.Duration
+	// lastHead and lastChange back the healthz stall detector: the last
+	// watermark head observed and when it last moved.
+	lastHead   atomic.Int64
+	lastChange atomic.Int64
 }
 
 // route is one endpoint's accounting: request/error counters and the
@@ -51,13 +60,19 @@ type route struct {
 // New builds a server (and its engine) from cfg; call Start to listen or
 // Handler to mount it elsewhere (tests mount it on httptest servers).
 func New(cfg Config) *Server {
-	s := &Server{eng: NewEngine(cfg), mux: http.NewServeMux()}
+	s := &Server{eng: NewEngine(cfg), mux: http.NewServeMux(), tr: cfg.Trace, stallAfter: cfg.StallAfter}
+	if s.stallAfter <= 0 {
+		s.stallAfter = DefaultStallAfter
+	}
 	s.handle("/v1/status", s.handleStatus)
 	s.handle("/v1/panel", s.handlePanel)
 	s.handle("/v1/series", s.handleSeries)
 	s.handle("/v1/top", s.handleTop)
 	s.handle("/v1/model", s.handleModel)
 	s.handle("/v1/spool", s.handleSpool)
+	s.handle("/v1/trace", s.handleTrace)
+	s.handle("/v1/healthz", s.handleHealthz)
+	s.handle("/v1/readyz", s.handleReadyz)
 	s.handleWith("/v1/metrics", metricsContentType, s.handleMetrics)
 	return s
 }
@@ -139,8 +154,13 @@ func (s *Server) handleWith(path, ctype string, fn handlerFunc) {
 			"HTTP request latency, by path.", label),
 	}
 	s.routes = append(s.routes, rt)
+	// The route's registration index doubles as its trace lane, so the
+	// flight recorder's per-lane rings (and Chrome's per-tid rows) keep
+	// endpoints apart.
+	lane := len(s.routes) - 1
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tc := s.tr.Root()
 		rt.hits.Inc()
 		body, err := fn(nil, r)
 		if err != nil {
@@ -162,7 +182,11 @@ func (s *Server) handleWith(path, ctype string, fn handlerFunc) {
 			w.Header().Set("Content-Type", ctype)
 			w.Write(body)
 		}
-		rt.lat.Observe(time.Since(start))
+		dur := time.Since(start)
+		if tc.Sampled() {
+			s.tr.Record(trace.NameServeQuery, lane, tc, 0, start.UnixNano(), dur.Nanoseconds(), uint64(len(body)))
+		}
+		rt.lat.Observe(dur)
 	})
 }
 
@@ -198,8 +222,65 @@ func (s *Server) handleStatus(dst []byte, _ *http.Request) ([]byte, error) {
 	dst = strconv.AppendUint(dst, st.ReplayTorn, 10)
 	dst = append(dst, `,"replay_unindexed":`...)
 	dst = strconv.AppendUint(dst, st.ReplayUnindexed, 10)
+	dst = append(dst, `,"freshness_seconds":`...)
+	dst = appendJSONFloat(dst, st.FreshnessSeconds)
 	dst = append(dst, "}\n"...)
 	return dst, nil
+}
+
+// handleTrace exports the flight recorder's current spans as Chrome
+// trace-event JSON — load the body in chrome://tracing or Perfetto.
+// With no tracer configured it serves an empty (but valid) document, so
+// dashboards can probe it unconditionally.
+func (s *Server) handleTrace(dst []byte, _ *http.Request) ([]byte, error) {
+	return trace.AppendTraceEvents(dst, s.tr.Snapshot()), nil
+}
+
+// handleReadyz is the readiness probe: 200 once the first snapshot has
+// been published (the serving layer can answer queries), 503 before.
+func (s *Server) handleReadyz(dst []byte, _ *http.Request) ([]byte, error) {
+	if s.eng.Snapshot() == nil {
+		return nil, ErrNoSnapshot
+	}
+	return append(dst, "{\"ready\":true}\n"...), nil
+}
+
+// handleHealthz is the liveness probe: 503 only when the attached
+// pipeline's watermark has seen packets, is not Final, and has not
+// advanced for longer than the stall window — a wedged ingest loop.
+// Idle-before-first-packet, finished, and pipeline-less servers are all
+// healthy.
+func (s *Server) handleHealthz(dst []byte, _ *http.Request) ([]byte, error) {
+	if msg, ok := s.live(time.Now()); !ok {
+		return nil, &httpError{code: http.StatusServiceUnavailable, msg: msg}
+	}
+	return append(dst, "{\"ok\":true}\n"...), nil
+}
+
+// live implements the healthz stall rule against the watermark head.
+func (s *Server) live(now time.Time) (string, bool) {
+	in := s.eng.cfg.Ingest
+	if in == nil {
+		return "", true
+	}
+	if snap := s.eng.Snapshot(); snap != nil && snap.Final {
+		return "", true
+	}
+	head := in.Head()
+	if head.IsZero() {
+		return "", true
+	}
+	hn := head.UnixNano()
+	if s.lastHead.Swap(hn) != hn {
+		s.lastChange.Store(now.UnixNano())
+		return "", true
+	}
+	since := now.Sub(time.Unix(0, s.lastChange.Load()))
+	if since > s.stallAfter {
+		return fmt.Sprintf("serve: watermark stalled at %s for %s",
+			head.UTC().Format(time.RFC3339), since.Round(time.Second)), false
+	}
+	return "", true
 }
 
 // handlePanel returns the current global weekly panel.

@@ -13,6 +13,7 @@ import (
 
 	"booters/internal/geo"
 	"booters/internal/ingest"
+	"booters/internal/obs/trace"
 	"booters/internal/spool"
 )
 
@@ -330,6 +331,118 @@ func TestQueryDuringIngest(t *testing.T) {
 	}
 	if !srv.Engine().Snapshot().Final {
 		t.Fatal("store does not hold the final snapshot after Close")
+	}
+}
+
+// TestTraceScrapeDuringHotIngest hammers /v1/trace and the health
+// probes while a 4-shard unordered pipeline ingests with tracing on —
+// the scrape-during-hot-ingest shape the lock-free span rings exist
+// for, checked under -race in CI. After Close, the flight recorder
+// must hold the always-recorded seal and publish spans.
+func TestTraceScrapeDuringHotIngest(t *testing.T) {
+	const weeks = 6
+	packets := testStream(t, weeks, 80)
+	tr := trace.New(trace.Config{SampleEvery: 2, SlowThreshold: -1})
+	icfg := testIngestConfig(4, weeks)
+	icfg.Unordered = true
+	icfg.Trace = tr
+	in, err := ingest.New(icfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unordered pipelines only expire flows (and so seal weeks) behind a
+	// source promise; register one and advance it as the stream is fed,
+	// like the wire collector does per sensor.
+	src := in.RegisterSource()
+	srv := New(Config{Ingest: in, Trace: tr})
+	if err := in.OnSnapshot(srv.Publish); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish(in.Snapshot())
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var fail sync.Once
+	var failure error
+	fatal := func(err error) { fail.Do(func() { failure = err }) }
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := hts.Client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/v1/trace", "/v1/healthz", "/v1/readyz"} {
+					resp, err := client.Get(hts.URL + path)
+					if err != nil {
+						fatal(err)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						fatal(err)
+						return
+					}
+					if resp.StatusCode != 200 {
+						fatal(fmt.Errorf("%s: status %d mid-ingest: %s", path, resp.StatusCode, body))
+						return
+					}
+					if path == "/v1/trace" {
+						var doc struct {
+							TraceEvents []struct {
+								Name string `json:"name"`
+							} `json:"traceEvents"`
+						}
+						if err := json.Unmarshal(body, &doc); err != nil {
+							fatal(fmt.Errorf("/v1/trace mid-ingest is not valid JSON: %v", err))
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	for _, p := range packets {
+		src.Advance(p.Time)
+		if err := in.Ingest(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Close()
+	if _, err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if failure != nil {
+		t.Fatal(failure)
+	}
+
+	out, code := getJSON(t, hts.URL+"/v1/trace")
+	if code != 200 {
+		t.Fatalf("/v1/trace after close: status %d", code)
+	}
+	events, _ := out["traceEvents"].([]any)
+	seen := map[string]int{}
+	for _, ev := range events {
+		if m, ok := ev.(map[string]any); ok {
+			if name, ok := m["name"].(string); ok {
+				seen[name]++
+			}
+		}
+	}
+	for _, want := range []string{"week.seal", "snapshot.publish", "ingest.apply", "serve.query"} {
+		if seen[want] == 0 {
+			t.Errorf("no %s span in /v1/trace after a %d-week run (saw %v)", want, weeks, seen)
+		}
 	}
 }
 

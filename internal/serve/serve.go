@@ -27,6 +27,7 @@ import (
 	"booters/internal/ingest"
 	"booters/internal/its"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/protocols"
 	"booters/internal/spool"
 	"booters/internal/timeseries"
@@ -94,7 +95,20 @@ type Config struct {
 	// into the same scrape as the pipeline and spool, which also lets
 	// Status surface live replay corruption counters.
 	Obs *obs.Registry
+	// Trace, when non-nil, records a serve.query span per routed HTTP
+	// request (one sampling decision each; slow queries are pinned and
+	// log-promoted by the tracer) and backs /v1/trace. Share the
+	// pipeline's tracer so query spans land in the same flight recorder
+	// as ingest spans. nil disables both at one pointer test.
+	Trace *trace.Tracer
+	// StallAfter is the /v1/healthz liveness window: with a pipeline
+	// attached, a non-final watermark that has not advanced for this
+	// long reports unhealthy. <= 0 means DefaultStallAfter.
+	StallAfter time.Duration
 }
+
+// DefaultStallAfter is the default healthz watermark-stall window.
+const DefaultStallAfter = 2 * time.Minute
 
 // Engine answers analytics queries against the store's current snapshot.
 // All query methods are safe for unbounded concurrent use; none of them
@@ -185,6 +199,12 @@ type Status struct {
 	// ReplayUnindexed counts unindexed segments the replay scanned in
 	// full, read the same way.
 	ReplayUnindexed uint64
+	// FreshnessSeconds is the stream-time distance between the attached
+	// pipeline's live watermark head and the end of the last sealed week
+	// — how much already-ingested stream time is not yet queryable. Zero
+	// without a pipeline, before the first seal, or when the head has
+	// not passed the sealed frontier.
+	FreshnessSeconds float64
 }
 
 // Status reports the serving state; it never fails, returning a zero
@@ -206,6 +226,13 @@ func (e *Engine) Status() Status {
 		out.LivePackets = in.Packets()
 		out.LiveFlows = in.FlowsClosed()
 		out.LiveLate = in.Late()
+		if out.Sealed {
+			if head := in.Head(); !head.IsZero() {
+				if lag := head.Sub(out.Through.Start.AddDate(0, 0, 7)); lag > 0 {
+					out.FreshnessSeconds = lag.Seconds()
+				}
+			}
+		}
 	}
 	if torn, ok := e.reg.Sum("booters_spool_replay_torn_total"); ok {
 		out.ReplayTorn = uint64(torn)

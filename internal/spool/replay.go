@@ -11,6 +11,7 @@ import (
 
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 )
 
 // ReplayOptions tunes ReplayWindow.
@@ -60,6 +61,12 @@ type ReplayOptions struct {
 	// per-reader counter cells merged only at scrape, so unordered
 	// workers never contend. nil disables instrumentation.
 	Metrics *obs.Registry
+
+	// Trace, when non-nil, records spool.segment spans — one sampling
+	// decision and at most one span per segment scanned, covering the
+	// segment's whole decode-and-deliver wall time with the record count
+	// as the span payload. nil disables tracing at one pointer test.
+	Trace *trace.Tracer
 
 	// testClaimOrder, set only by tests, overrides the order unordered
 	// workers claim segments in: a permutation of the scanned segment
@@ -185,7 +192,7 @@ func ReplayWindow(dir string, opts ReplayOptions, fn func(ingest.Datagram) error
 		return stats, replayUnordered(dir, scan, from, to, opts, stats, m, fn)
 	}
 	if opts.Workers <= 1 {
-		return stats, replaySequential(dir, scan, from, to, opts.Strict, stats, m, fn)
+		return stats, replaySequential(dir, scan, from, to, opts, stats, m, fn)
 	}
 	return stats, replayParallel(dir, scan, from, to, opts, stats, m, fn)
 }
@@ -243,9 +250,24 @@ func bookSegment(info *SegmentInfo, read, filtered uint64, scanErr error, strict
 	return nil
 }
 
+// segmentSpan makes one per-segment sampling decision and returns the
+// completion hook: call it with the records read once the scan is done.
+// With a nil tracer (or an unsampled decision) both halves are no-ops.
+func segmentSpan(tr *trace.Tracer, lane int) func(read uint64) {
+	stc := tr.Root()
+	if !stc.Sampled() {
+		return func(uint64) {}
+	}
+	t0 := time.Now().UnixNano()
+	return func(read uint64) {
+		tr.Record(trace.NameSpoolSegment, lane, stc, 0, t0, time.Now().UnixNano()-t0, read)
+	}
+}
+
 // replaySequential scans the selected segments inline, in order.
-func replaySequential(dir string, scan []*SegmentInfo, from, to int64, strict bool, stats *ReplayStats, m *replayMetrics, fn func(ingest.Datagram) error) error {
+func replaySequential(dir string, scan []*SegmentInfo, from, to int64, opts ReplayOptions, stats *ReplayStats, m *replayMetrics, fn func(ingest.Datagram) error) error {
 	for _, info := range scan {
+		span := segmentSpan(opts.Trace, 0)
 		read, filtered, scanErr, yieldErr := scanSegment(idxPath(dir, info), from, to, func(d ingest.Datagram) error {
 			if err := fn(d); err != nil {
 				return err
@@ -259,7 +281,8 @@ func replaySequential(dir string, scan []*SegmentInfo, from, to int64, strict bo
 		if yieldErr != nil {
 			return yieldErr
 		}
-		if err := bookSegment(info, read, filtered, scanErr, strict, stats, m); err != nil {
+		span(read)
+		if err := bookSegment(info, read, filtered, scanErr, opts.Strict, stats, m); err != nil {
 			return err
 		}
 	}
@@ -338,7 +361,7 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for {
 				select {
@@ -355,6 +378,7 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 				t := tasks[i]
 				batch := getBatch()
 				aborted := false
+				span := segmentSpan(opts.Trace, lane)
 				t.read, t.filtered, t.scanErr, _ = scanSegment(idxPath(dir, t.info), from, to, func(d ingest.Datagram) error {
 					batch.add(d)
 					if len(batch.recs) == replayBatchLen {
@@ -379,8 +403,9 @@ func replayParallel(dir string, scan []*SegmentInfo, from, to int64, opts Replay
 				if aborted {
 					return
 				}
+				span(t.read)
 			}
-		}()
+		}(w)
 	}
 	abort := func(err error) error {
 		// Every worker send (and the claim loop) selects on stop, so
@@ -537,6 +562,7 @@ func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts Repla
 				i := claim[n]
 				t := tasks[i]
 				t.claimed = true
+				span := segmentSpan(opts.Trace, cell)
 				var yieldErr error
 				t.read, t.filtered, t.scanErr, yieldErr = scanSegment(idxPath(dir, t.info), from, to, func(d ingest.Datagram) error {
 					select {
@@ -561,6 +587,7 @@ func replayUnordered(dir string, scan []*SegmentInfo, from, to int64, opts Repla
 					// so it never advances the watermark.
 					return
 				}
+				span(t.read)
 				if m != nil {
 					// Book the segment live — a collector watching the
 					// scrape sees a tear when it happens, not at end of

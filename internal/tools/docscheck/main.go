@@ -11,7 +11,7 @@
 //	go run ./internal/tools/docscheck [-exported DIR,DIR] [ROOT ...]
 //
 // ROOT defaults to "internal cmd" and -exported to
-// "internal/spool,internal/ingest,internal/honeypot,internal/serve,internal/obs,internal/wire,internal/scenario",
+// "internal/spool,internal/ingest,internal/honeypot,internal/serve,internal/obs,internal/obs/trace,internal/wire,internal/scenario",
 // all resolved relative to the working directory, which CI sets to the
 // repository root.
 package main
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exported := flag.String("exported", "internal/spool,internal/ingest,internal/honeypot,internal/serve,internal/obs,internal/wire,internal/scenario",
+	exported := flag.String("exported", "internal/spool,internal/ingest,internal/honeypot,internal/serve,internal/obs,internal/obs/trace,internal/wire,internal/scenario",
 		"comma-separated package dirs whose every exported identifier must carry a doc comment")
 	flag.Parse()
 	roots := flag.Args()

@@ -12,6 +12,7 @@ import (
 
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 )
 
 // DefaultDeadAfter is how long a collector waits between a session's
@@ -37,6 +38,13 @@ type CollectorConfig struct {
 	// Metrics, when non-nil, receives the booters_wire_* families.
 	Metrics *obs.Registry
 
+	// Trace, when non-nil, records wire.batch receive spans. Batches
+	// whose v2 header carries a sampled sensor-side trace context are
+	// recorded as children of it, stitching the cross-process
+	// sensor→snapshot chain together; v1 batches make their own local
+	// sampling decision. Nil disables tracing at one pointer test.
+	Trace *trace.Tracer
+
 	// Logf, when non-nil, receives one line per session event.
 	Logf func(format string, args ...any)
 }
@@ -49,6 +57,10 @@ type CollectorConfig struct {
 type sensorState struct {
 	offset atomic.Uint64
 	mark   atomic.Int64
+	// opened is the wall clock (unix nanoseconds) at which the sensor's
+	// current session passed handshake; the session-age gauge reads it
+	// at scrape time.
+	opened atomic.Int64
 }
 
 // session is one accepted connection's server half.
@@ -196,9 +208,9 @@ func (c *Collector) handle(conn net.Conn) {
 		c.reject(s, CodeBadFrame, "malformed hello")
 		return
 	}
-	if h.Version != ProtocolVersion {
+	if h.Version < MinProtocolVersion || h.Version > ProtocolVersion {
 		c.m.authFailure()
-		c.reject(s, CodeVersion, fmt.Sprintf("version %d unsupported, speak %d", h.Version, ProtocolVersion))
+		c.reject(s, CodeVersion, fmt.Sprintf("version %d unsupported, speak %d..%d", h.Version, MinProtocolVersion, ProtocolVersion))
 		return
 	}
 	if subtle.ConstantTimeCompare([]byte(c.cfg.Token), h.Token) != 1 {
@@ -244,12 +256,17 @@ func (c *Collector) handle(conn net.Conn) {
 		close(s.done)
 	}()
 
+	// The Welcome echoes the sensor's version: the whole session —
+	// batch-header layout included — runs at the version the sensor
+	// asked for, so v1 sensors keep working unchanged.
 	resume := st.offset.Load()
-	if err := c.write(s, FrameWelcome, AppendWelcome(nil, Welcome{Version: ProtocolVersion, Resume: resume})); err != nil {
+	if err := c.write(s, FrameWelcome, AppendWelcome(nil, Welcome{Version: h.Version, Resume: resume})); err != nil {
 		return
 	}
+	st.opened.Store(time.Now().UnixNano())
 	c.m.sessionOpen(resume > 0)
-	c.logf("wire: sensor %d session open at offset %d (resume=%v)", h.Sensor, resume, resume > 0)
+	c.m.sessionGauges(h.Sensor, st)
+	c.logf("wire: sensor %d session open at offset %d (resume=%v, v%d)", h.Sensor, resume, resume > 0, h.Version)
 
 	// Each session is one low-watermark source; the stream time already
 	// promised by earlier sessions carries over.
@@ -283,7 +300,7 @@ func (c *Collector) handle(conn net.Conn) {
 
 		switch t {
 		case FrameBatch:
-			ok, err := c.ingestBatch(s, src, st, h.Sensor, p)
+			ok, err := c.ingestBatch(s, src, st, h.Sensor, h.Version, p)
 			if err != nil || !ok {
 				return
 			}
@@ -326,11 +343,28 @@ func (c *Collector) handle(conn net.Conn) {
 // is ingested before the offset advances and the ack goes out — the ack
 // is the promise that these records are never needed again. Returns
 // ok=false when the session must end.
-func (c *Collector) ingestBatch(s *session, src *ingest.Source, st *sensorState, sensor uint32, p []byte) (bool, error) {
-	h, rest, err := DecodeBatchHeader(p)
+func (c *Collector) ingestBatch(s *session, src *ingest.Source, st *sensorState, sensor uint32, version uint16, p []byte) (bool, error) {
+	h, rest, err := DecodeBatchHeader(p, version)
 	if err != nil {
 		c.reject(s, CodeBadFrame, err.Error())
 		return false, nil
+	}
+	// Receive span: a child of the sensor's batch span when the v2
+	// header carries a sampled context, else a local sampling decision.
+	// SetTraceParent before the records go in so the shard flushes this
+	// batch causes are parented under the receive span.
+	var wtc trace.Context
+	var recvStart int64
+	if tr := c.cfg.Trace; tr != nil {
+		if h.TraceID != 0 {
+			wtc = tr.Child(trace.Context{Trace: h.TraceID, Span: h.SpanID})
+		} else {
+			wtc = tr.Root()
+		}
+		if wtc.Sampled() {
+			recvStart = time.Now().UnixNano()
+			c.cfg.Ingest.SetTraceParent(wtc)
+		}
 	}
 	offset := st.offset.Load()
 	if h.Base > offset {
@@ -376,6 +410,13 @@ func (c *Collector) ingestBatch(s *session, src *ingest.Source, st *sensorState,
 	if maxT != int64(MarkUnset) && maxT > st.mark.Load() {
 		st.mark.Store(maxT)
 		src.Advance(time.Unix(0, maxT).UTC())
+	}
+	if wtc.Sampled() {
+		now := time.Now().UnixNano()
+		c.cfg.Trace.Record(trace.NameWireBatch, int(sensor), wtc, h.SpanID, recvStart, now-recvStart, uint64(h.Count))
+	}
+	if h.SendUnixNanos > 0 {
+		c.m.freshness(time.Duration(time.Now().UnixNano() - h.SendUnixNanos))
 	}
 	c.m.batch(sensor, fresh, dup, offset)
 	if err := c.write(s, FrameAck, AppendAck(nil, Ack{Offset: offset})); err != nil {

@@ -9,6 +9,7 @@ import (
 	"booters/internal/honeypot"
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 )
 
 var testStart = time.Date(2018, time.October, 1, 0, 0, 0, 0, time.UTC)
@@ -148,6 +149,97 @@ func TestSensorCollectorPanelEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestWireTraceSpanChainIntegrity is the cross-process tracing property
+// test: with one tracer shared across sensor, collector and pipeline
+// (the loopback stand-in for per-process tracers) and SampleEvery=1,
+// every recorded span's parent must exist under the same trace, and at
+// least one complete sensor.batch → wire.batch → ingest.enqueue →
+// ingest.apply → week.seal → snapshot.publish chain must be
+// recoverable by walking Parent links.
+func TestWireTraceSpanChainIntegrity(t *testing.T) {
+	packets := testPackets(t, 2, 60)
+	recs := ingest.Datagrams(packets)
+	tr := trace.New(trace.Config{SampleEvery: 1, RingSize: 1 << 14, SlowThreshold: -1})
+	cfg := testCfg(2, 2, true)
+	cfg.Rolling = true
+	cfg.Trace = tr
+	in, err := ingest.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Listen("127.0.0.1:0", CollectorConfig{Ingest: in, Token: "trace", Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Ship(SensorConfig{
+		Addr:         col.Addr().String(),
+		Sensor:       42,
+		Token:        "trace",
+		Feed:         NewSliceFeed(recs),
+		BatchRecords: 32,
+		Trace:        tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Acked != uint64(len(recs)) {
+		t.Fatalf("acked %d of %d records", rep.Acked, len(recs))
+	}
+	col.Close()
+	if _, err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if d := tr.Drops(); d != 0 {
+		t.Fatalf("%d spans dropped; ring sized to hold everything", d)
+	}
+	spans := tr.Snapshot()
+	byID := make(map[uint64]trace.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %s (trace %x) references missing parent %x", s.Name, s.Trace, s.Parent)
+		}
+		if p.Trace != s.Trace {
+			t.Fatalf("span %s in trace %x has parent %s in trace %x", s.Name, s.Trace, p.Name, p.Trace)
+		}
+	}
+	want := []string{"snapshot.publish", "week.seal", "ingest.apply", "ingest.enqueue", "wire.batch", "sensor.batch"}
+	seen := map[string]bool{}
+	found := false
+	for _, s := range spans {
+		seen[s.Name] = true
+		if s.Name != want[0] {
+			continue
+		}
+		var chain []string
+		for cur, ok := s, true; ok; cur, ok = byID[cur.Parent] {
+			chain = append(chain, cur.Name)
+			if cur.Parent == 0 {
+				break
+			}
+		}
+		if reflect.DeepEqual(chain, want) {
+			found = true
+			break
+		}
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("no %s span recorded", name)
+		}
+	}
+	if !found {
+		t.Fatalf("no complete sensor→snapshot span chain recovered from %d spans", len(spans))
 	}
 }
 

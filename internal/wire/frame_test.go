@@ -199,18 +199,21 @@ func TestBatchRoundTrip(t *testing.T) {
 		{Time: time.Unix(0, 5e9).UTC(), Victim: netip.MustParseAddr("10.1.2.3"), Port: 123, Sensor: 7, Payload: []byte{0x17, 0, 3, 0x2a}},
 		{Time: time.Unix(0, 6e9).UTC(), Victim: netip.MustParseAddr("2001:db8::1"), Port: 53, Sensor: 8, Payload: samplePayload(90)},
 	}
-	payload := AppendBatchHeader(nil, BatchHeader{Base: 1000, Count: uint32(len(recs))})
+	payload := AppendBatchHeader(nil, BatchHeader{
+		Base: 1000, Count: uint32(len(recs)),
+		TraceID: 0xfeed, SpanID: 0xbeef, SendUnixNanos: 7e9,
+	}, ProtocolVersion)
 	for _, d := range recs {
 		var err error
 		if payload, err = spool.AppendRecord(payload, d); err != nil {
 			t.Fatal(err)
 		}
 	}
-	h, rest, err := DecodeBatchHeader(payload)
+	h, rest, err := DecodeBatchHeader(payload, ProtocolVersion)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.Base != 1000 || h.Count != 2 {
+	if h.Base != 1000 || h.Count != 2 || h.TraceID != 0xfeed || h.SpanID != 0xbeef || h.SendUnixNanos != 7e9 {
 		t.Fatalf("header: %+v", h)
 	}
 	var got []ingest.Datagram
@@ -238,6 +241,31 @@ func TestBatchRoundTrip(t *testing.T) {
 	h3 := BatchHeader{Base: 0, Count: 1}
 	if err := DecodeBatchRecords(h3, rest, nil); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("trailing records: %v", err)
+	}
+}
+
+func TestBatchHeaderV1Layout(t *testing.T) {
+	// A v1 session encodes the 12-byte header and drops the trace
+	// fields; decoding at v1 must neither read past the header nor
+	// invent trace context.
+	b := AppendBatchHeader(nil, BatchHeader{Base: 9, Count: 4, TraceID: 1, SpanID: 2, SendUnixNanos: 3}, 1)
+	if len(b) != 12 {
+		t.Fatalf("v1 header is %d bytes, want 12", len(b))
+	}
+	h, rest, err := DecodeBatchHeader(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Base != 9 || h.Count != 4 || h.TraceID != 0 || h.SpanID != 0 || h.SendUnixNanos != 0 {
+		t.Fatalf("v1 decode: %+v", h)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("v1 decode left %d bytes", len(rest))
+	}
+	// A v2 decoder refuses a bare v1 header — the session version gates
+	// the layout, so this only happens to corrupt streams.
+	if _, _, err := DecodeBatchHeader(b, 2); err == nil {
+		t.Fatal("v2 decode accepted a 12-byte header")
 	}
 }
 

@@ -19,7 +19,7 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	batch := AppendBatchHeader(nil, BatchHeader{Base: 17, Count: 2})
+	batch := AppendBatchHeader(nil, BatchHeader{Base: 17, Count: 2, TraceID: 5, SpanID: 5, SendUnixNanos: 1538352000e9}, ProtocolVersion)
 	for i := 0; i < 2; i++ {
 		batch, err = spool.AppendRecord(batch, ingest.Datagram{
 			Time:    time.Unix(1538352000+int64(i), 0).UTC(),
@@ -67,8 +67,12 @@ func decodeTyped(t FrameType, p []byte) {
 	case FrameWelcome:
 		DecodeWelcome(p)
 	case FrameBatch:
-		if h, rest, err := DecodeBatchHeader(p); err == nil {
-			DecodeBatchRecords(h, rest, func(uint32, ingest.Datagram) error { return nil })
+		// Decode at both header layouts — a mutated stream is as likely
+		// to land on a v1 session as a v2 one.
+		for _, ver := range []uint16{1, 2} {
+			if h, rest, err := DecodeBatchHeader(p, ver); err == nil {
+				DecodeBatchRecords(h, rest, func(uint32, ingest.Datagram) error { return nil })
+			}
 		}
 	case FrameAck:
 		DecodeAck(p)
@@ -145,8 +149,10 @@ func FuzzHandshake(f *testing.F) {
 		DecodeHeartbeat(data)
 		DecodeGoodbye(data)
 		DecodeReject(data)
-		if h, rest, err := DecodeBatchHeader(data); err == nil {
-			DecodeBatchRecords(h, rest, func(uint32, ingest.Datagram) error { return nil })
+		for _, ver := range []uint16{1, 2} {
+			if h, rest, err := DecodeBatchHeader(data, ver); err == nil {
+				DecodeBatchRecords(h, rest, func(uint32, ingest.Datagram) error { return nil })
+			}
 		}
 	})
 }

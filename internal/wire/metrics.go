@@ -2,6 +2,7 @@ package wire
 
 import (
 	"strconv"
+	"time"
 
 	"booters/internal/obs"
 )
@@ -19,6 +20,7 @@ type collectorMetrics struct {
 	dups         *obs.Counter // overlap records skipped by offset dedup
 	bytesIn      *obs.Counter
 	bytesOut     *obs.Counter
+	fresh        *obs.Histogram // wire-send → ingest-apply wall latency
 	framesIn     map[FrameType]*obs.Counter
 	framesOut    map[FrameType]*obs.Counter
 	reg          *obs.Registry
@@ -40,9 +42,11 @@ func newCollectorMetrics(r *obs.Registry) *collectorMetrics {
 		dups:         r.Counter("booters_wire_records_dup_total", "Overlap records skipped by cumulative-offset dedup."),
 		bytesIn:      r.Counter("booters_wire_bytes_total", "Frame bytes by direction.", obs.L("dir", "in")),
 		bytesOut:     r.Counter("booters_wire_bytes_total", "Frame bytes by direction.", obs.L("dir", "out")),
-		framesIn:     make(map[FrameType]*obs.Counter, len(frameTypes)),
-		framesOut:    make(map[FrameType]*obs.Counter, len(frameTypes)),
-		reg:          r,
+		fresh: r.Histogram("booters_freshness_wire_to_apply_seconds",
+			"Wall latency from a sensor stamping a batch frame at send to the collector finishing its apply (v2 sessions only; assumes loosely synchronised clocks)."),
+		framesIn:  make(map[FrameType]*obs.Counter, len(frameTypes)),
+		framesOut: make(map[FrameType]*obs.Counter, len(frameTypes)),
+		reg:       r,
 	}
 	for _, t := range frameTypes {
 		m.framesIn[t] = r.Counter("booters_wire_frames_total", "Frames by direction and type.",
@@ -119,6 +123,48 @@ func (m *collectorMetrics) batch(sensor uint32, fresh, dup uint64, offset uint64
 	}
 	m.reg.Gauge("booters_wire_acked_offset", "Cumulative acknowledged record offset per sensor.",
 		obs.L("sensor", strconv.FormatUint(uint64(sensor), 10))).Set(int64(offset))
+}
+
+// freshness books one wire-send→ingest-apply latency observation.
+// Non-positive durations (clock skew putting the send "in the future")
+// are dropped rather than folded into the first bucket.
+func (m *collectorMetrics) freshness(d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.fresh.Observe(d)
+}
+
+// sessionGauges (re)points the per-sensor session gauges at st. Called
+// at every session open; GaugeFunc re-registration replaces the
+// callback, so a reconnect just rewires the closures onto the same
+// persistent state.
+func (m *collectorMetrics) sessionGauges(sensor uint32, st *sensorState) {
+	if m == nil {
+		return
+	}
+	id := obs.L("sensor", strconv.FormatUint(uint64(sensor), 10))
+	m.reg.GaugeFunc("booters_wire_session_acked_offset",
+		"Cumulative acknowledged record offset per sensor, read live at scrape.",
+		func() float64 { return float64(st.offset.Load()) }, id)
+	m.reg.GaugeFunc("booters_wire_session_mark_seconds",
+		"Newest stream time promised by the sensor's heartbeats and batches, as unix seconds (0 while unknown).",
+		func() float64 {
+			mk := st.mark.Load()
+			if mk == MarkUnset {
+				return 0
+			}
+			return float64(mk) / 1e9
+		}, id)
+	m.reg.GaugeFunc("booters_wire_session_age_seconds",
+		"Seconds since the sensor's most recent session passed handshake.",
+		func() float64 {
+			opened := st.opened.Load()
+			if opened == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, opened)).Seconds()
+		}, id)
 }
 
 // sensorMetrics instruments the shipping side. The family names carry a

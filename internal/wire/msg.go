@@ -13,10 +13,17 @@ import (
 // mis-directed client before trusting a single field.
 const Magic = "BOOTWIR1"
 
-// ProtocolVersion is the protocol revision this package speaks. The
-// collector rejects any other version with CodeVersion; there is no
-// negotiation below it.
-const ProtocolVersion uint16 = 1
+// ProtocolVersion is the newest protocol revision this package speaks.
+// Version 2 added the trace-context fields to the Batch header; the
+// rest of the protocol is unchanged. A collector accepts any version in
+// [MinProtocolVersion, ProtocolVersion] and echoes the sensor's version
+// in its Welcome, so old sensors keep working; anything outside the
+// range is rejected with CodeVersion.
+const ProtocolVersion uint16 = 2
+
+// MinProtocolVersion is the oldest protocol revision a collector still
+// accepts.
+const MinProtocolVersion uint16 = 1
 
 // MaxTokenLen caps the Hello auth token.
 const MaxTokenLen = 256
@@ -258,36 +265,75 @@ func DecodeReject(b []byte) (Reject, error) {
 // BatchHeader prefixes a Batch payload: the cumulative offset of the
 // batch's first record and how many records follow. Records use the
 // spool record encoding (spool.AppendRecord / spool.DecodeRecord).
+// Version 2 appended the trace-context fields; under version 1 they
+// are neither encoded nor decoded and stay zero.
 type BatchHeader struct {
 	// Base is the cumulative offset of the batch's first record.
 	Base uint64
 	// Count is the number of records that follow the header.
 	Count uint32
+	// TraceID and SpanID carry the sensor-side trace context of this
+	// batch (v2 only; zero means the batch is unsampled). The collector
+	// parents its own receive span under them, which is what stitches a
+	// cross-process sensor→snapshot trace together.
+	TraceID, SpanID uint64
+	// SendUnixNanos is the sensor's wall clock at frame send (v2 only;
+	// 0 means unknown), the start of the wire-send→ingest-apply
+	// freshness measurement. Sensor and collector clocks are assumed
+	// loosely synchronised; the histogram absorbs modest skew.
+	SendUnixNanos int64
 }
 
-// batchHeaderSize is the encoded BatchHeader length.
-const batchHeaderSize = 12
+// Encoded BatchHeader lengths by protocol version.
+const (
+	batchHeaderSizeV1 = 12
+	batchHeaderSizeV2 = 36
+)
 
-// AppendBatchHeader encodes h after dst. The caller appends Count
-// records with spool.AppendRecord and frames the result as FrameBatch.
-func AppendBatchHeader(dst []byte, h BatchHeader) []byte {
+// batchHeaderSize returns the encoded header length for a negotiated
+// protocol version.
+func batchHeaderSize(version uint16) int {
+	if version >= 2 {
+		return batchHeaderSizeV2
+	}
+	return batchHeaderSizeV1
+}
+
+// AppendBatchHeader encodes h after dst at the negotiated protocol
+// version. The caller appends Count records with spool.AppendRecord
+// and frames the result as FrameBatch. Under version 1 the trace
+// fields are dropped (the v1 layout has no room for them).
+func AppendBatchHeader(dst []byte, h BatchHeader, version uint16) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, h.Base)
-	return binary.BigEndian.AppendUint32(dst, h.Count)
+	dst = binary.BigEndian.AppendUint32(dst, h.Count)
+	if version >= 2 {
+		dst = binary.BigEndian.AppendUint64(dst, h.TraceID)
+		dst = binary.BigEndian.AppendUint64(dst, h.SpanID)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(h.SendUnixNanos))
+	}
+	return dst
 }
 
-// DecodeBatchHeader decodes a Batch payload's header and returns the
-// record bytes that follow it. The declared count is not yet verified
-// against those bytes — DecodeBatchRecords does that incrementally, so
-// a hostile count can never force an allocation.
-func DecodeBatchHeader(b []byte) (BatchHeader, []byte, error) {
-	if len(b) < batchHeaderSize {
-		return BatchHeader{}, nil, fmt.Errorf("%w: batch header needs %d bytes, have %d", ErrProtocol, batchHeaderSize, len(b))
+// DecodeBatchHeader decodes a Batch payload's header at the session's
+// negotiated protocol version and returns the record bytes that follow
+// it. The declared count is not yet verified against those bytes —
+// DecodeBatchRecords does that incrementally, so a hostile count can
+// never force an allocation.
+func DecodeBatchHeader(b []byte, version uint16) (BatchHeader, []byte, error) {
+	size := batchHeaderSize(version)
+	if len(b) < size {
+		return BatchHeader{}, nil, fmt.Errorf("%w: batch header needs %d bytes, have %d", ErrProtocol, size, len(b))
 	}
 	h := BatchHeader{
 		Base:  binary.BigEndian.Uint64(b[0:8]),
 		Count: binary.BigEndian.Uint32(b[8:12]),
 	}
-	return h, b[batchHeaderSize:], nil
+	if version >= 2 {
+		h.TraceID = binary.BigEndian.Uint64(b[12:20])
+		h.SpanID = binary.BigEndian.Uint64(b[20:28])
+		h.SendUnixNanos = int64(binary.BigEndian.Uint64(b[28:36]))
+	}
+	return h, b[size:], nil
 }
 
 // DecodeBatchRecords walks the record bytes of a batch, calling fn with

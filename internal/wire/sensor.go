@@ -11,6 +11,7 @@ import (
 
 	"booters/internal/ingest"
 	"booters/internal/obs"
+	"booters/internal/obs/trace"
 	"booters/internal/spool"
 )
 
@@ -180,6 +181,13 @@ type SensorConfig struct {
 	// Metrics, when non-nil, receives the booters_wire_sensor_* families.
 	Metrics *obs.Registry
 
+	// Trace, when non-nil, samples sensor.batch spans — the roots of
+	// cross-process traces. On a v2 session the sampled context rides in
+	// the batch header so the collector can parent its receive span
+	// under it; on a v1 session the span stays local. Nil disables
+	// tracing at one pointer test.
+	Trace *trace.Tracer
+
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
 }
@@ -315,9 +323,12 @@ func shipSession(cfg *SensorConfig, conn net.Conn, rep *ShipReport, m *sensorMet
 	if err != nil {
 		return false, err
 	}
-	if w.Version != ProtocolVersion {
+	if w.Version < MinProtocolVersion || w.Version > ProtocolVersion {
 		return false, &RejectError{Code: CodeVersion, Msg: fmt.Sprintf("collector speaks version %d", w.Version)}
 	}
+	// The Welcome's version is the session version: it decides the batch
+	// header layout for everything this session ships.
+	ver := w.Version
 	resume := w.Resume
 	if rep.Batches > 0 && resume > 0 {
 		rep.Resumes++
@@ -399,7 +410,19 @@ func shipSession(cfg *SensorConfig, conn net.Conn, rep *ShipReport, m *sensorMet
 		idleNap = time.Millisecond
 	}
 	for {
-		payload = AppendBatchHeader(payload[:0], BatchHeader{Base: cfg.Feed.Offset()})
+		// One sampling decision per batch: the sampled context becomes
+		// the trace root and, on a v2 session, rides in the header so the
+		// collector's receive span is its child.
+		btc := cfg.Trace.Root()
+		buildStart := int64(0)
+		if btc.Sampled() {
+			buildStart = time.Now().UnixNano()
+		}
+		payload = AppendBatchHeader(payload[:0], BatchHeader{
+			Base:    cfg.Feed.Offset(),
+			TraceID: btc.Trace,
+			SpanID:  btc.Span,
+		}, ver)
 		count := uint32(0)
 		var ferr error
 		for int(count) < cfg.BatchRecords && len(payload) < sizeCap {
@@ -421,8 +444,17 @@ func shipSession(cfg *SensorConfig, conn net.Conn, rep *ShipReport, m *sensorMet
 		}
 		if count > 0 {
 			binary.BigEndian.PutUint32(payload[8:12], count)
+			if ver >= 2 {
+				// Stamp the send time as late as possible — it is the
+				// start of the wire-send→ingest-apply freshness clock.
+				binary.BigEndian.PutUint64(payload[28:36], uint64(time.Now().UnixNano()))
+			}
 			if err := write(FrameBatch, payload); err != nil {
 				return fail(err)
+			}
+			if btc.Sampled() {
+				cfg.Trace.Record(trace.NameSensorBatch, int(cfg.Sensor), btc, 0,
+					buildStart, time.Now().UnixNano()-buildStart, uint64(count))
 			}
 			rep.Batches++
 			rep.Records += uint64(count)

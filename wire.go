@@ -22,6 +22,9 @@ func ListenWire(in *ingest.Ingestor, addr, token string) (*wire.Collector, error
 		Ingest:  in,
 		Token:   token,
 		Metrics: in.Metrics(),
+		// Adopt the pipeline's tracer (nil when tracing is off) so wire
+		// batch spans parent the ingest spans they unlock.
+		Trace: in.Trace(),
 	})
 }
 
